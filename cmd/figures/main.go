@@ -1,0 +1,303 @@
+// Command figures regenerates the paper's evaluation figures at a
+// configurable scale and prints the series as text tables.
+//
+// Usage:
+//
+//	figures -fig all            # every figure at the default scale
+//	figures -fig 4 -db 300      # Fig. 4 with a 300-graph database
+//
+// The defaults run the whole suite in minutes on a laptop; the paper-scale
+// parameters (1k–10k graphs, 1,000 queries) are reachable through flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9 or all")
+		db      = flag.Int("db", 0, "database size (0 = harness default)")
+		queries = flag.Int("queries", 0, "query count (0 = harness default)")
+		seed    = flag.Int64("seed", 1, "master seed")
+		budget  = flag.Int64("mcs-budget", 5000, "MCS search budget per pair")
+	)
+	flag.Parse()
+
+	base := experiments.Config{
+		DBSize:     *db,
+		QueryCount: *queries,
+		Seed:       *seed,
+		MCSBudget:  *budget,
+	}
+	want := func(name string) bool {
+		return *fig == "all" || *fig == name
+	}
+
+	var chem *experiments.Dataset
+	needChem := want("1") || want("2") || want("4") || want("7") || want("8")
+	if needChem {
+		log.Printf("building chemical dataset...")
+		start := time.Now()
+		var err error
+		chem, err = experiments.BuildChemical(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("chemical dataset ready in %v: %d graphs, %d queries, %d candidate features",
+			time.Since(start).Round(time.Millisecond), len(chem.DB), len(chem.Queries), chem.Index.P)
+	}
+
+	w := os.Stdout
+	if want("1") {
+		runFig1(w, chem)
+	}
+	if want("2") {
+		runFig2(w, chem, *seed)
+	}
+	if want("4") {
+		runFig4(w, chem, *seed)
+	}
+	if want("5") || want("6") {
+		if want("5") {
+			runFig5(w, base, *seed)
+		}
+		if want("6") {
+			runFig6(w, base, *seed)
+		}
+	}
+	if want("7") {
+		runFig7(w, chem)
+	}
+	if want("8") {
+		runFig8(w, chem, *seed)
+	}
+	if want("9") {
+		runFig9(w, base, *seed)
+	}
+}
+
+func defaultP(m int) int {
+	p := m / 4
+	if p < 10 {
+		p = 10
+	}
+	if p > m {
+		p = m
+	}
+	return p
+}
+
+func defaultKs(n int) []int {
+	// The paper's k ∈ {20..100} on 1k graphs = 2%..10% of the database.
+	ks := make([]int, 0, 5)
+	for pct := 2; pct <= 10; pct += 2 {
+		k := n * pct / 100
+		if k < 1 {
+			k = 1
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func runFig1(w *os.File, ds *experiments.Dataset) {
+	fmt.Fprintln(w, "== Fig 1: dissimilarity/distance distributions ==")
+	res, err := experiments.Fig1(ds, defaultP(ds.Index.P), 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printHist := func(name string, h experiments.Histogram) {
+		fmt.Fprintf(w, "%-12s", name)
+		for _, b := range h.Bins {
+			fmt.Fprintf(w, " %5.3f", b)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(a) within database:")
+	printHist("delta", res.DeltaDB)
+	printHist("DSPM", res.DSPMDB)
+	printHist("Original", res.OriginalDB)
+	fmt.Fprintf(w, "EMD(DSPM, delta)=%.4f  EMD(Original, delta)=%.4f\n",
+		res.DSPMDB.EMD(res.DeltaDB), res.OriginalDB.EMD(res.DeltaDB))
+	fmt.Fprintln(w, "(b) queries vs database:")
+	printHist("delta", res.DeltaQ)
+	printHist("DSPM", res.DSPMQ)
+	printHist("Original", res.OriginalQ)
+	fmt.Fprintf(w, "EMD(DSPM, delta)=%.4f  EMD(Original, delta)=%.4f\n\n",
+		res.DSPMQ.EMD(res.DeltaQ), res.OriginalQ.EMD(res.DeltaQ))
+}
+
+func runFig2(w *os.File, ds *experiments.Dataset, seed int64) {
+	fmt.Fprintln(w, "== Fig 2: total feature correlation, DSPM vs Sample ==")
+	m := ds.Index.P
+	ps := []int{m / 5, 2 * m / 5, 3 * m / 5}
+	pts, err := experiments.Fig2(ds, ps, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "%8s %12s %12s\n", "p", "DSPM", "Sample")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%8d %12.1f %12.1f\n", pt.P, pt.DSPMScore, pt.SampleScore)
+	}
+	fmt.Fprintln(w)
+}
+
+func runFig4(w *os.File, ds *experiments.Dataset, seed int64) {
+	ks := defaultKs(len(ds.DB))
+	series := experiments.FigQuality(ds, experiments.StandardAlgorithms(seed), defaultP(ds.Index.P), ks, true)
+	experiments.WriteSeries(w, "Fig 4: real dataset, relative to fingerprint benchmark", series, ks)
+	fmt.Fprintln(w)
+}
+
+func runFig5(w *os.File, base experiments.Config, seed int64) {
+	log.Printf("building synthetic dataset...")
+	ds, err := experiments.BuildSynthetic(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks := defaultKs(len(ds.DB))
+	series := experiments.FigQuality(ds, experiments.StandardAlgorithms(seed), defaultP(ds.Index.P), ks, false)
+	experiments.RelativeToBest(series, ks)
+	experiments.WriteSeries(w, "Fig 5: synthetic dataset, relative to best", series, ks)
+	fmt.Fprintln(w)
+}
+
+func runFig6(w *os.File, base experiments.Config, seed int64) {
+	fmt.Fprintln(w, "== Fig 6: synthetic sweeps (precision@k, indexing time) ==")
+	k := defaultKs(baseOr(base.DBSize, 150))[2]
+	fmt.Fprintln(w, "(a,c) vary average edges:")
+	fmt.Fprintf(w, "%8s", "edges")
+	names := []string{"DSPM", "Original", "Sample", "MICI", "MCFS", "UDFS", "NDFS"}
+	for _, n := range names {
+		fmt.Fprintf(w, " %9s", n)
+	}
+	fmt.Fprintln(w)
+	for _, edges := range []int{12, 16, 20} {
+		cfg := base
+		cfg.Synth.AvgEdges = edges
+		writeSweepRow(w, cfg, fmt.Sprintf("%8d", edges), names, k, seed)
+	}
+	fmt.Fprintln(w, "(b,d) vary density:")
+	for _, den := range []float64{0.1, 0.2, 0.3} {
+		cfg := base
+		cfg.Synth.Density = den
+		writeSweepRow(w, cfg, fmt.Sprintf("%8.2f", den), names, k, seed)
+	}
+	fmt.Fprintln(w)
+}
+
+func baseOr(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func writeSweepRow(w *os.File, cfg experiments.Config, label string, names []string, k int, seed int64) {
+	ds, err := experiments.BuildSynthetic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algos := experiments.StandardAlgorithms(seed)
+	kept := algos[:0]
+	for _, a := range algos {
+		for _, n := range names {
+			if a.Name == n {
+				kept = append(kept, a)
+			}
+		}
+	}
+	series := experiments.FigQuality(ds, kept, defaultP(ds.Index.P), []int{k}, false)
+	experiments.RelativeToBest(series, []int{k})
+	fmt.Fprint(w, label)
+	byName := map[string]experiments.AlgoSeries{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok || s.Err != nil {
+			fmt.Fprintf(w, " %9s", "-")
+			continue
+		}
+		fmt.Fprintf(w, " %4.2f/%-4s", s.ByK[k].Precision, shortDur(s.IndexingTime))
+	}
+	fmt.Fprintln(w)
+}
+
+func shortDur(d time.Duration) string {
+	s := d.Round(time.Millisecond).String()
+	return strings.TrimSuffix(s, "0ms") + "ms"
+}
+
+func runFig7(w *os.File, ds *experiments.Dataset) {
+	fmt.Fprintln(w, "== Fig 7: query time by |V(q)| ==")
+	res, err := experiments.Fig7(ds, defaultP(ds.Index.P), []int{10, 12, 14, 16, 18, 21}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "|V(q)|", "DSPM", "Original", "Exact")
+	for b := range res.Buckets {
+		fmt.Fprintf(w, "%8s %12v %12v %12v\n", res.Buckets[b],
+			res.DSPM[b].Round(time.Microsecond),
+			res.Original[b].Round(time.Microsecond),
+			res.Exact[b].Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+}
+
+func runFig8(w *os.File, ds *experiments.Dataset, seed int64) {
+	fmt.Fprintln(w, "== Fig 8: DSPMap approximation quality vs partition size ==")
+	n := len(ds.DB)
+	bs := []int{n / 8, n / 6, n / 4, n / 3, n / 2}
+	k := defaultKs(n)[2]
+	pts, err := experiments.Fig8(ds, defaultP(ds.Index.P), k, bs, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "b", "DSPMap prec", "DSPM prec", "DSPMap index", "DSPM index")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%8d %14.3f %14.3f %14v %14v\n", pt.B, pt.DSPMapPrec, pt.DSPMPrec,
+			pt.DSPMapIndexing.Round(time.Millisecond), pt.DSPMIndexing.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+}
+
+func runFig9(w *os.File, base experiments.Config, seed int64) {
+	fmt.Fprintln(w, "== Fig 9: scalability with |DG| ==")
+	n0 := baseOr(base.DBSize, 150)
+	sizes := []int{n0, 2 * n0, 3 * n0}
+	algos := experiments.StandardAlgorithms(seed)
+	// SFS is excluded (cannot finish even at 2k in the paper); spectral
+	// baselines run while memory allows, as in the paper.
+	kept := algos[:0]
+	for _, a := range algos {
+		if a.Name != "SFS" {
+			kept = append(kept, a)
+		}
+	}
+	k := defaultKs(n0)[2]
+	pts, err := experiments.Fig9(sizes, base, kept, defaultP(400), k, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range pts {
+		fmt.Fprintf(w, "|DG|=%d  DSPMap query=%v  exact query=%v\n",
+			pt.N, pt.DSPMapQuery.Round(time.Microsecond), pt.ExactQuery.Round(time.Millisecond))
+		for _, name := range experiments.SortedAlgoNames(pt.Precision) {
+			fmt.Fprintf(w, "  %-10s prec=%.3f  indexing=%v\n",
+				name, pt.Precision[name], pt.IndexingByAlgo[name].Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintln(w)
+}

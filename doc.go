@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Leveraging Graph
+// Dimensions in Online Graph Search" (Zhu, Yu, Qin; PVLDB 8(1), 2014).
+//
+// The public API lives in the graphdim subpackage; the paper's algorithms
+// and substrates are implemented under internal/ (see DESIGN.md for the
+// full inventory). The benchmarks in bench_test.go regenerate every figure
+// of the paper's evaluation section; EXPERIMENTS.md records the measured
+// shapes against the paper's.
+package repro

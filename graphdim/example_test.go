@@ -1,0 +1,29 @@
+package graphdim_test
+
+import (
+	"fmt"
+
+	"repro/graphdim"
+	"repro/internal/dataset"
+)
+
+// Example demonstrates the core workflow: build an index over a graph
+// database and answer a top-k similarity query in the mapped space.
+func Example() {
+	db := dataset.Chemical(dataset.ChemConfig{N: 30, MinVertices: 8, MaxVertices: 12, Seed: 4})
+	idx, err := graphdim.Build(db, graphdim.Options{
+		Dimensions: 15,
+		Tau:        0.15,
+		MCSBudget:  2000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Query with a database graph: it is its own nearest neighbour.
+	results, err := idx.TopK(db[5], 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(results[0].Distance == 0)
+	// Output: true
+}

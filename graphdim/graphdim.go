@@ -1,0 +1,284 @@
+// Package graphdim is the public API of this repository: an online graph
+// search library that selects a small structural dimension — a set of
+// frequent subgraphs — from a graph database so that top-k similarity
+// queries can run in a multidimensional vector space instead of computing
+// NP-hard maximum-common-subgraph dissimilarities per query.
+//
+// It implements the DS-preserved mapping of Zhu, Yu and Qin, "Leveraging
+// Graph Dimensions in Online Graph Search" (PVLDB 8(1), 2014): the DSPM
+// dimension-selection algorithm, its scalable approximation DSPMap, the
+// gSpan miner that produces the candidate subgraphs, the VF2 matcher that
+// maps unseen queries into the space, and exact MCS-based search for
+// ground truth.
+//
+// Typical use:
+//
+//	db, _ := graphdim.ReadGraphs(f)
+//	idx, _ := graphdim.Build(db, graphdim.Options{Dimensions: 200})
+//	results, _ := idx.TopK(query, 10)
+package graphdim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/gspan"
+	"repro/internal/mcs"
+	"repro/internal/subiso"
+	"repro/internal/topk"
+	"repro/internal/vecspace"
+)
+
+// Graph is an undirected labeled simple graph (vertices and edges carry
+// integer labels). Construct with NewGraph / AddVertex / AddEdge or parse
+// with ReadGraphs.
+type Graph = graph.Graph
+
+// Label is a vertex or edge label.
+type Label = graph.Label
+
+// Edge is a normalized undirected edge.
+type Edge = graph.Edge
+
+// NewGraph returns an empty graph with n vertices labeled 0.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ReadGraphs parses a sequence of graphs in the standard text format
+// ("t # id" / "v id label" / "e u v label").
+func ReadGraphs(r io.Reader) ([]*Graph, error) { return graph.ReadAll(r) }
+
+// WriteGraphs writes graphs in the same text format.
+func WriteGraphs(w io.Writer, gs []*Graph) error { return graph.WriteAll(w, gs) }
+
+// Metric selects the MCS-based graph dissimilarity.
+type Metric = mcs.Metric
+
+// Dissimilarity metrics (Eq. 1 and Eq. 2 of the paper).
+const (
+	// Delta1 normalizes by the larger graph (Bunke–Shearer).
+	Delta1 = mcs.Delta1
+	// Delta2 normalizes by the average size; the paper's default.
+	Delta2 = mcs.Delta2
+)
+
+// Algorithm selects the dimension-computation algorithm.
+type Algorithm int
+
+const (
+	// DSPM is the exact iterative algorithm (Section 5.1); it needs the
+	// full pairwise dissimilarity matrix — O(n²) MCS computations.
+	DSPM Algorithm = iota
+	// DSPMap is the partition-based approximation (Section 5.2); its cost
+	// grows linearly with the database size.
+	DSPMap
+)
+
+// Options configures Build.
+type Options struct {
+	// Dimensions is p, the number of subgraph dimensions to select.
+	// Zero means 200 (a mid-range value from the paper's sweep).
+	Dimensions int
+	// Tau is the minimum-support ratio for frequent subgraph mining;
+	// zero means 0.05, the paper's setting.
+	Tau float64
+	// MaxPatternEdges caps mined subgraph size; zero means 6.
+	MaxPatternEdges int
+	// MaxCandidates caps the mined candidate set m; zero means unlimited.
+	MaxCandidates int
+	// Metric is the graph dissimilarity; default Delta2.
+	Metric Metric
+	// Algorithm picks DSPM (default) or DSPMap.
+	Algorithm Algorithm
+	// PartitionSize is DSPMap's b; zero means max(20, n/20).
+	PartitionSize int
+	// MCSBudget bounds each MCS search in branch-and-bound nodes; zero
+	// means 200000 (effectively exact for molecule-sized graphs).
+	MCSBudget int64
+	// Seed drives DSPMap's random choices.
+	Seed int64
+	// Iterations caps DSPM's majorization loop; zero means 30.
+	Iterations int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Dimensions == 0 {
+		o.Dimensions = 200
+	}
+	if o.Tau == 0 {
+		o.Tau = 0.05
+	}
+	if o.MaxPatternEdges == 0 {
+		o.MaxPatternEdges = 6
+	}
+	if o.MCSBudget == 0 {
+		o.MCSBudget = 200000
+	}
+	if o.PartitionSize == 0 {
+		o.PartitionSize = n / 20
+		if o.PartitionSize < 20 {
+			o.PartitionSize = 20
+		}
+	}
+	return o
+}
+
+// Index is a built graph-dimension index over a database: the selected
+// subgraph dimensions and the database's binary vectors. It answers top-k
+// similarity queries with a feature-matching step (VF2) plus a linear
+// scan of the vector space.
+type Index struct {
+	db       []*Graph
+	features []*Graph
+	mapper   *vecspace.Mapper
+	vectors  []*vecspace.BitVector
+	metric   Metric
+	mcsOpt   mcs.Options
+	weights  []float64
+}
+
+// Build mines frequent subgraphs from db, selects the dimension set with
+// DSPM or DSPMap, and maps the database into the resulting space.
+func Build(db []*Graph, opt Options) (*Index, error) {
+	if len(db) < 2 {
+		return nil, fmt.Errorf("graphdim: need at least 2 graphs, got %d", len(db))
+	}
+	opt = opt.withDefaults(len(db))
+
+	feats, err := gspan.Mine(db, gspan.Options{
+		MinSupport:  gspan.MinSupportRatio(opt.Tau, len(db)),
+		MaxEdges:    opt.MaxPatternEdges,
+		MaxFeatures: opt.MaxCandidates,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graphdim: mining candidates: %w", err)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("graphdim: no frequent subgraphs at tau=%v", opt.Tau)
+	}
+	idx := vecspace.BuildIndex(len(db), feats)
+	p := opt.Dimensions
+	if p > idx.P {
+		p = idx.P
+	}
+
+	mcsOpt := mcs.Options{MaxNodes: opt.MCSBudget}
+	var res *core.Result
+	switch opt.Algorithm {
+	case DSPM:
+		delta := opt.Metric.Matrix(db, mcsOpt)
+		res, err = core.DSPM(idx, delta, core.Config{P: p, MaxIter: opt.Iterations})
+	case DSPMap:
+		dis := func(i, j int) float64 {
+			return opt.Metric.DissimilarityBudget(db[i], db[j], mcsOpt)
+		}
+		res, err = core.DSPMap(idx, dis, core.MapConfig{
+			Core: core.Config{P: p, MaxIter: opt.Iterations},
+			B:    opt.PartitionSize,
+			Seed: opt.Seed,
+		})
+	default:
+		return nil, fmt.Errorf("graphdim: unknown algorithm %d", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("graphdim: dimension computation: %w", err)
+	}
+
+	features := make([]*Graph, len(res.Selected))
+	weights := make([]float64, len(res.Selected))
+	for i, r := range res.Selected {
+		features[i] = feats[r].Graph
+		weights[i] = res.C[r]
+	}
+	sub := idx.Subindex(res.Selected)
+	vectors := make([]*vecspace.BitVector, sub.N)
+	for i := 0; i < sub.N; i++ {
+		vectors[i] = sub.Vector(i)
+	}
+	return &Index{
+		db:       db,
+		features: features,
+		mapper:   vecspace.NewMapper(features),
+		vectors:  vectors,
+		metric:   opt.Metric,
+		mcsOpt:   mcsOpt,
+		weights:  weights,
+	}, nil
+}
+
+// Dimensions returns the selected subgraph dimensions, most informative
+// first.
+func (ix *Index) Dimensions() []*Graph { return ix.features }
+
+// Weights returns the DSPM weight of each dimension, aligned with
+// Dimensions.
+func (ix *Index) Weights() []float64 { return ix.weights }
+
+// Size returns the number of indexed graphs.
+func (ix *Index) Size() int { return len(ix.db) }
+
+// Graph returns the i-th indexed graph.
+func (ix *Index) Graph(i int) *Graph { return ix.db[i] }
+
+// Result is one top-k answer.
+type Result struct {
+	// ID is the database index of the matched graph.
+	ID int
+	// Distance is the normalized Euclidean distance in the mapped space
+	// (0 = identical feature profile).
+	Distance float64
+}
+
+// TopK answers a top-k similarity query in the mapped space: map q onto
+// the dimensions (VF2 feature matching), then scan the vector database.
+func (ix *Index) TopK(q *Graph, k int) ([]Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("graphdim: nil query")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("graphdim: k must be positive, got %d", k)
+	}
+	qv := ix.mapper.Map(q)
+	ranking := topk.Mapped(ix.vectors, qv)
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	out := make([]Result, k)
+	for i := 0; i < k; i++ {
+		out[i] = Result{ID: ranking[i].ID, Distance: ranking[i].Score}
+	}
+	return out, nil
+}
+
+// TopKExact answers the query with the exact MCS-based engine — orders of
+// magnitude slower; intended for ground-truth comparisons.
+func (ix *Index) TopKExact(q *Graph, k int) ([]Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("graphdim: nil query")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("graphdim: k must be positive, got %d", k)
+	}
+	ranking := topk.Exact(ix.db, q, ix.metric, ix.mcsOpt)
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	out := make([]Result, k)
+	for i := 0; i < k; i++ {
+		out[i] = Result{ID: ranking[i].ID, Distance: ranking[i].Score}
+	}
+	return out, nil
+}
+
+// Dissimilarity computes the exact metric value δ(a, b) — exposed for
+// applications that verify or re-rank candidates.
+func (ix *Index) Dissimilarity(a, b *Graph) float64 {
+	return ix.metric.DissimilarityBudget(a, b, ix.mcsOpt)
+}
+
+// Contains reports whether pattern is subgraph-isomorphic to target —
+// the containment primitive the mapping is built on.
+func Contains(target, pattern *Graph) bool {
+	return subiso.Contains(target, pattern)
+}

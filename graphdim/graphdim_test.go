@@ -1,0 +1,189 @@
+package graphdim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func buildSmall(t *testing.T, algo Algorithm) (*Index, []*Graph) {
+	t.Helper()
+	db := dataset.Chemical(dataset.ChemConfig{N: 40, MinVertices: 8, MaxVertices: 14, Seed: 5})
+	idx, err := Build(db, Options{
+		Dimensions: 20,
+		Tau:        0.1,
+		MCSBudget:  3000,
+		Algorithm:  algo,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return idx, db
+}
+
+func TestBuildAndQueryDSPM(t *testing.T) {
+	idx, db := buildSmall(t, DSPM)
+	if len(idx.Dimensions()) == 0 || len(idx.Dimensions()) > 20 {
+		t.Fatalf("dimension count %d out of range", len(idx.Dimensions()))
+	}
+	if len(idx.Weights()) != len(idx.Dimensions()) {
+		t.Fatalf("weights not aligned with dimensions")
+	}
+	if idx.Size() != len(db) {
+		t.Fatalf("Size = %d, want %d", idx.Size(), len(db))
+	}
+	// Self query: graph 7 must be its own nearest neighbour (distance 0).
+	res, err := idx.TopK(db[7], 3)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if res[0].Distance != 0 {
+		t.Errorf("self query distance %v, want 0", res[0].Distance)
+	}
+	found := false
+	for _, r := range res {
+		if r.ID == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self graph not in top-3 (ties possible, but id-tiebreak should include it): %v", res)
+	}
+}
+
+func TestBuildAndQueryDSPMap(t *testing.T) {
+	idx, db := buildSmall(t, DSPMap)
+	res, err := idx.TopK(db[3], 5)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results, want 5", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Distance < res[i-1].Distance {
+			t.Errorf("results not sorted by distance")
+		}
+	}
+}
+
+func TestTopKExactAgreesOnSelf(t *testing.T) {
+	idx, db := buildSmall(t, DSPM)
+	res, err := idx.TopKExact(db[2], 2)
+	if err != nil {
+		t.Fatalf("TopKExact: %v", err)
+	}
+	if res[0].ID != 2 || res[0].Distance != 0 {
+		t.Errorf("exact self query should return itself first, got %v", res[0])
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Errorf("empty database must error")
+	}
+	db := dataset.Chemical(dataset.ChemConfig{N: 1, Seed: 1})
+	if _, err := Build(db, Options{}); err == nil {
+		t.Errorf("single graph must error")
+	}
+	db = dataset.Chemical(dataset.ChemConfig{N: 5, Seed: 1})
+	if _, err := Build(db, Options{Algorithm: Algorithm(9)}); err == nil {
+		t.Errorf("unknown algorithm must error")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	idx, db := buildSmall(t, DSPM)
+	if _, err := idx.TopK(nil, 3); err == nil {
+		t.Errorf("nil query must error")
+	}
+	if _, err := idx.TopK(db[0], 0); err == nil {
+		t.Errorf("k=0 must error")
+	}
+	if _, err := idx.TopKExact(nil, 3); err == nil {
+		t.Errorf("nil exact query must error")
+	}
+	if _, err := idx.TopKExact(db[0], -1); err == nil {
+		t.Errorf("negative k must error")
+	}
+	res, err := idx.TopK(db[0], 10_000)
+	if err != nil {
+		t.Fatalf("huge k: %v", err)
+	}
+	if len(res) != idx.Size() {
+		t.Errorf("huge k should clamp to database size")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	idx, db := buildSmall(t, DSPM)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	if loaded.Size() != idx.Size() || len(loaded.Dimensions()) != len(idx.Dimensions()) {
+		t.Fatalf("round trip changed shapes")
+	}
+	// Same query must produce the same ranking.
+	a, _ := idx.TopK(db[9], 5)
+	b, _ := loaded.TopK(db[9], 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip changed query results: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestReadIndexRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version": 99}`,
+		`{"version": 1, "db": ["t # 0\nv 0 1\n"], "vectors": []}`,
+		`{"version": 1, "features": ["t # 0\nv 0 1\n"], "weights": []}`,
+		`{"version": 1, "features": ["garbage"], "weights": [1]}`,
+		`{"version": 1, "features": ["t # 0\nv 0 1\n"], "weights": [1], "db": ["t # 0\nv 0 1\n"], "vectors": [[5]]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadIndex(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt index accepted", i)
+		}
+	}
+}
+
+func TestContainsWrapper(t *testing.T) {
+	target := NewGraph(3)
+	target.MustAddEdge(0, 1, 0)
+	target.MustAddEdge(1, 2, 0)
+	pattern := NewGraph(2)
+	pattern.MustAddEdge(0, 1, 0)
+	if !Contains(target, pattern) {
+		t.Errorf("edge pattern should be contained in path")
+	}
+}
+
+func TestReadWriteGraphs(t *testing.T) {
+	db := dataset.Chemical(dataset.ChemConfig{N: 4, Seed: 2})
+	var buf bytes.Buffer
+	if err := WriteGraphs(&buf, db); err != nil {
+		t.Fatalf("WriteGraphs: %v", err)
+	}
+	back, err := ReadGraphs(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraphs: %v", err)
+	}
+	if len(back) != len(db) {
+		t.Fatalf("round trip count mismatch")
+	}
+	for i := range db {
+		if db[i].N() != back[i].N() || db[i].M() != back[i].M() {
+			t.Fatalf("graph %d changed shape", i)
+		}
+	}
+}

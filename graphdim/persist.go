@@ -1,0 +1,125 @@
+package graphdim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/mcs"
+	"repro/internal/vecspace"
+)
+
+// indexFile is the on-disk JSON layout of an Index. Graphs are embedded in
+// the standard text format so the files remain grep-able and diff-able.
+type indexFile struct {
+	Version   int       `json:"version"`
+	Metric    int       `json:"metric"`
+	MCSBudget int64     `json:"mcs_budget"`
+	Features  []string  `json:"features"`
+	Weights   []float64 `json:"weights"`
+	DB        []string  `json:"db"`
+	Vectors   [][]int   `json:"vectors"` // set bit positions per graph
+}
+
+const indexFileVersion = 1
+
+// WriteTo serializes the index (selected dimensions, weights, database
+// graphs and their vectors) so it can be reloaded without re-mining or
+// re-running DSPM. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	f := indexFile{
+		Version:   indexFileVersion,
+		Metric:    int(ix.metric),
+		MCSBudget: ix.mcsOpt.MaxNodes,
+		Weights:   ix.weights,
+	}
+	for _, g := range ix.features {
+		f.Features = append(f.Features, g.String())
+	}
+	for _, g := range ix.db {
+		f.DB = append(f.DB, g.String())
+	}
+	for _, v := range ix.vectors {
+		var bits []int
+		for r := 0; r < v.Len(); r++ {
+			if v.Get(r) {
+				bits = append(bits, r)
+			}
+		}
+		if bits == nil {
+			bits = []int{}
+		}
+		f.Vectors = append(f.Vectors, bits)
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return 0, fmt.Errorf("graphdim: encode index: %w", err)
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadIndex loads an index previously written with WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graphdim: read index: %w", err)
+	}
+	var f indexFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("graphdim: decode index: %w", err)
+	}
+	if f.Version != indexFileVersion {
+		return nil, fmt.Errorf("graphdim: unsupported index version %d", f.Version)
+	}
+	if len(f.Vectors) != len(f.DB) {
+		return nil, fmt.Errorf("graphdim: corrupt index: %d vectors for %d graphs", len(f.Vectors), len(f.DB))
+	}
+	if len(f.Weights) != len(f.Features) {
+		return nil, fmt.Errorf("graphdim: corrupt index: %d weights for %d features", len(f.Weights), len(f.Features))
+	}
+	ix := &Index{
+		metric:  Metric(f.Metric),
+		mcsOpt:  mcs.Options{MaxNodes: f.MCSBudget},
+		weights: f.Weights,
+	}
+	for i, s := range f.Features {
+		g, err := parseOne(s)
+		if err != nil {
+			return nil, fmt.Errorf("graphdim: feature %d: %w", i, err)
+		}
+		ix.features = append(ix.features, g)
+	}
+	for i, s := range f.DB {
+		g, err := parseOne(s)
+		if err != nil {
+			return nil, fmt.Errorf("graphdim: graph %d: %w", i, err)
+		}
+		ix.db = append(ix.db, g)
+	}
+	p := len(ix.features)
+	for i, bits := range f.Vectors {
+		v := vecspace.NewBitVector(p)
+		for _, b := range bits {
+			if b < 0 || b >= p {
+				return nil, fmt.Errorf("graphdim: corrupt index: vector %d has bit %d outside [0,%d)", i, b, p)
+			}
+			v.Set(b)
+		}
+		ix.vectors = append(ix.vectors, v)
+	}
+	ix.mapper = vecspace.NewMapper(ix.features)
+	return ix, nil
+}
+
+func parseOne(s string) (*Graph, error) {
+	gs, err := ReadGraphs(strings.NewReader(s))
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("expected 1 graph, found %d", len(gs))
+	}
+	return gs[0], nil
+}

@@ -1,0 +1,251 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecspace"
+)
+
+func randomIndex(r *rand.Rand, n, m int) (*vecspace.Index, [][]float64) {
+	vs := make([]*vecspace.BitVector, n)
+	for i := range vs {
+		v := vecspace.NewBitVector(m)
+		for j := 0; j < m; j++ {
+			if r.Intn(2) == 0 {
+				v.Set(j)
+			}
+		}
+		vs[i] = v
+	}
+	idx := vecspace.BuildIndexFromVectors(vs)
+	delta := make([][]float64, n)
+	for i := range delta {
+		delta[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := r.Float64()
+			delta[i][j] = d
+			delta[j][i] = d
+		}
+	}
+	return idx, delta
+}
+
+// checkSelection verifies the generic contract: correct count, in-range,
+// no duplicates.
+func checkSelection(t *testing.T, name string, sel []int, p, m int) {
+	t.Helper()
+	if len(sel) != p {
+		t.Fatalf("%s: selected %d features, want %d", name, len(sel), p)
+	}
+	seen := map[int]bool{}
+	for _, f := range sel {
+		if f < 0 || f >= m {
+			t.Fatalf("%s: feature %d out of range [0,%d)", name, f, m)
+		}
+		if seen[f] {
+			t.Fatalf("%s: duplicate feature %d", name, f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestAllSelectorsContract(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	idx, delta := randomIndex(r, 20, 12)
+	const p = 5
+	selectors := []Selector{
+		Sample{Seed: 3},
+		SFS{},
+		MICI{},
+		MCFS{},
+		UDFS{},
+		NDFS{},
+	}
+	for _, s := range selectors {
+		sel, err := s.Select(idx, delta, p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		checkSelection(t, s.Name(), sel, p, idx.P)
+	}
+}
+
+func TestOriginalReturnsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	idx, _ := randomIndex(r, 10, 7)
+	sel, err := Original{}.Select(idx, nil, 3)
+	if err != nil {
+		t.Fatalf("Original: %v", err)
+	}
+	if len(sel) != 7 {
+		t.Fatalf("Original must return all %d features, got %d", 7, len(sel))
+	}
+	if (Original{}).Name() != "Original" {
+		t.Errorf("name wrong")
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	idx, _ := randomIndex(r, 10, 20)
+	a, _ := Sample{Seed: 5}.Select(idx, nil, 6)
+	b, _ := Sample{Seed: 5}.Select(idx, nil, 6)
+	c, _ := Sample{Seed: 6}.Select(idx, nil, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed different selection")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds should (almost surely) differ")
+	}
+}
+
+func TestSampleClampsP(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	idx, _ := randomIndex(r, 5, 4)
+	sel, err := Sample{}.Select(idx, nil, 100)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(sel) != 4 {
+		t.Errorf("Sample should clamp p to m")
+	}
+}
+
+func TestSFSRequiresDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	idx, _ := randomIndex(r, 5, 4)
+	if _, err := (SFS{}).Select(idx, nil, 2); err == nil {
+		t.Errorf("SFS without delta must error")
+	}
+}
+
+func TestSFSFindsInformativeFeature(t *testing.T) {
+	// δ exactly equals the distance induced by feature 0 alone; SFS's
+	// first greedy pick must be feature 0.
+	n, m := 12, 6
+	r := rand.New(rand.NewSource(6))
+	vs := make([]*vecspace.BitVector, n)
+	for i := range vs {
+		v := vecspace.NewBitVector(m)
+		for j := 0; j < m; j++ {
+			if r.Intn(2) == 0 {
+				v.Set(j)
+			}
+		}
+		vs[i] = v
+	}
+	idx := vecspace.BuildIndexFromVectors(vs)
+	delta := make([][]float64, n)
+	for i := range delta {
+		delta[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if vs[i].Get(0) != vs[j].Get(0) {
+				delta[i][j] = 1
+				delta[j][i] = 1
+			}
+		}
+	}
+	sel, err := (SFS{}).Select(idx, delta, 1)
+	if err != nil {
+		t.Fatalf("SFS: %v", err)
+	}
+	if sel[0] != 0 {
+		t.Errorf("SFS first pick = %d, want 0", sel[0])
+	}
+}
+
+func TestSpectralSelectorsRejectTinyInput(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	idx, _ := randomIndex(r, 2, 4)
+	for _, s := range []Selector{MCFS{}, UDFS{}, NDFS{}} {
+		if _, err := s.Select(idx, nil, 2); err == nil {
+			t.Errorf("%s on 2 graphs must error", s.Name())
+		}
+	}
+}
+
+func TestMCFSPrefersStructuredFeatures(t *testing.T) {
+	// Two well-separated groups; features 0–2 are perfect group
+	// indicators, the rest weak noise. MCFS must rank the indicators
+	// ahead of the noise.
+	n, m := 40, 9
+	r := rand.New(rand.NewSource(8))
+	vs := make([]*vecspace.BitVector, n)
+	for i := range vs {
+		v := vecspace.NewBitVector(m)
+		if i < n/2 {
+			v.Set(0)
+			v.Set(1)
+			v.Set(2)
+		}
+		for j := 3; j < m; j++ {
+			if r.Intn(4) == 0 {
+				v.Set(j)
+			}
+		}
+		vs[i] = v
+	}
+	idx := vecspace.BuildIndexFromVectors(vs)
+	sel, err := MCFS{Clusters: 2}.Select(idx, nil, 3)
+	if err != nil {
+		t.Fatalf("MCFS: %v", err)
+	}
+	// Features 0–2 are perfectly correlated, so the lasso keeps one
+	// representative and zeroes the duplicates; the top-ranked feature
+	// must be one of the indicators.
+	if sel[0] > 2 {
+		t.Errorf("MCFS top pick = %d, want an indicator (0–2); selection %v", sel[0], sel)
+	}
+}
+
+func TestNDFSDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	idx, _ := randomIndex(r, 15, 8)
+	a, err1 := NDFS{Seed: 1}.Select(idx, nil, 4)
+	b, err2 := NDFS{Seed: 1}.Select(idx, nil, 4)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("NDFS: %v %v", err1, err2)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("NDFS same seed different selection")
+		}
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	want := map[string]Selector{
+		"Original": Original{},
+		"Sample":   Sample{},
+		"SFS":      SFS{},
+		"MICI":     MICI{},
+		"MCFS":     MCFS{},
+		"UDFS":     UDFS{},
+		"NDFS":     NDFS{},
+	}
+	for name, s := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+func TestTopScores(t *testing.T) {
+	got := topScores([]float64{0.5, 2, 1, 2}, 2)
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("topScores = %v, want [1 3]", got)
+	}
+}

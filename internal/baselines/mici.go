@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/vecspace"
+)
+
+// MICI is the unsupervised feature-selection method of Mitra, Murthy and
+// Pal (IEEE TPAMI 2002): features are clustered by the Maximal Information
+// Compression Index λ2 — the smallest eigenvalue of the covariance matrix
+// of a feature pair, which is zero iff the features are linearly dependent
+// — and each cluster is represented by a single feature.
+//
+// The selection loop follows the paper: repeatedly pick the feature whose
+// distance to its K-th nearest remaining neighbour is smallest (the most
+// compressible cluster), keep it, discard those K neighbours, and shrink K
+// when fewer features remain. K is derived from the target dimension p.
+type MICI struct {
+	// K is the initial cluster size k. Zero derives it as m/p − 1.
+	K int
+}
+
+// Name implements Selector.
+func (MICI) Name() string { return "MICI" }
+
+// Select implements Selector.
+func (mi MICI) Select(idx *vecspace.Index, _ [][]float64, p int) ([]int, error) {
+	m := idx.P
+	if p > m {
+		p = m
+	}
+	// Feature statistics over the binary columns: mean = |sup|/n,
+	// var = q(1-q), cov(r,s) = |sup_r ∩ sup_s|/n − q_r q_s.
+	n := float64(idx.N)
+	q := make([]float64, m)
+	for r := 0; r < m; r++ {
+		q[r] = float64(len(idx.IF[r])) / n
+	}
+	mici := func(r, s int) float64 {
+		vr := q[r] * (1 - q[r])
+		vs := q[s] * (1 - q[s])
+		inter := intersectionSize(idx.IF[r], idx.IF[s])
+		cov := float64(inter)/n - q[r]*q[s]
+		// λ2 = (vr+vs − sqrt((vr+vs)^2 − 4(vr·vs − cov^2))) / 2.
+		sum := vr + vs
+		disc := sum*sum - 4*(vr*vs-cov*cov)
+		if disc < 0 {
+			disc = 0
+		}
+		return (sum - math.Sqrt(disc)) / 2
+	}
+
+	k := mi.K
+	if k <= 0 {
+		if p > 0 {
+			k = m/p - 1
+		}
+		if k < 1 {
+			k = 1
+		}
+	}
+
+	remaining := make([]int, m)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var sel []int
+	for len(remaining) > 0 && len(sel) < p {
+		if k > len(remaining)-1 {
+			k = len(remaining) - 1
+		}
+		if k < 1 {
+			// Singletons left: keep them in order until p reached.
+			for _, r := range remaining {
+				if len(sel) >= p {
+					break
+				}
+				sel = append(sel, r)
+			}
+			break
+		}
+		// For each remaining feature, distance to its k-th nearest
+		// neighbour among the remaining features.
+		bestF, bestD := -1, math.Inf(1)
+		var bestNbrs []int
+		for _, r := range remaining {
+			type nd struct {
+				f int
+				d float64
+			}
+			ds := make([]nd, 0, len(remaining)-1)
+			for _, s := range remaining {
+				if s != r {
+					ds = append(ds, nd{s, mici(r, s)})
+				}
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+			if ds[k-1].d < bestD {
+				bestD = ds[k-1].d
+				bestF = r
+				bestNbrs = bestNbrs[:0]
+				for i := 0; i < k; i++ {
+					bestNbrs = append(bestNbrs, ds[i].f)
+				}
+			}
+		}
+		sel = append(sel, bestF)
+		drop := map[int]bool{bestF: true}
+		for _, f := range bestNbrs {
+			drop[f] = true
+		}
+		keep := remaining[:0]
+		for _, r := range remaining {
+			if !drop[r] {
+				keep = append(keep, r)
+			}
+		}
+		remaining = keep
+	}
+	sort.Ints(sel)
+	return sel, nil
+}
+
+func intersectionSize(a, b []int) int {
+	x, y, c := 0, 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] == b[y]:
+			c++
+			x++
+			y++
+		case a[x] < b[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	return c
+}

@@ -1,0 +1,332 @@
+// Package core implements the paper's primary contribution: the DSPM
+// algorithm (Section 5.1) that selects a small set of frequent subgraphs
+// ("graph dimensions") whose binary containment vectors preserve the
+// MCS-based graph dissimilarity under Euclidean distance, and the
+// approximate, partition-based DSPMap algorithm (Section 5.2) that scales
+// the computation to large graph databases.
+//
+// DSPM minimizes the stress objective of Eq. (4)
+//
+//	E = Σ_{i,j} (d(x_i, x_j) − δ_ij)^2,   x_ir = y_ir · c_r
+//
+// by the majorization (SMACOF-style) iteration of Eqs. (6)–(8), with the
+// simplified weight update of Theorem 5.1 and the inverted-list
+// optimizations of Algorithms 2–4. The p features with largest weight c_r
+// form the selected dimension F.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vecspace"
+)
+
+// Config controls a DSPM run.
+type Config struct {
+	// P is the number of dimensions to select (p in the paper).
+	P int
+	// Epsilon is the convergence threshold ε on the objective decrease.
+	// Zero means the default 1e-4.
+	Epsilon float64
+	// MaxIter caps the number of majorization iterations. Zero means the
+	// default 30.
+	MaxIter int
+	// NaiveUpdateC switches the weight update from the simplified Eq. (9)
+	// to the direct Eq. (7) computation — exposed for the ablation bench
+	// and the Theorem 5.1 equivalence test.
+	NaiveUpdateC bool
+	// DenseObjective switches Computeobj from the inverted-list Algorithm
+	// 4 to a dense scan — exposed for the ablation bench.
+	DenseObjective bool
+	// DenseXbar switches Updatexbar from the IF-list Algorithm 3 to a
+	// dense scan over all graphs — exposed for the ablation bench.
+	DenseXbar bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-4
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 30
+	}
+	return c
+}
+
+// Result reports a DSPM run.
+type Result struct {
+	// C is the final weight vector over all m candidate features.
+	C []float64
+	// Selected lists the indices of the p features with largest weight,
+	// in descending weight order.
+	Selected []int
+	// Objectives records the objective value per iteration (including the
+	// initial configuration), a monotone non-increasing sequence.
+	Objectives []float64
+	// Iterations is the number of majorization iterations executed.
+	Iterations int
+}
+
+// DSPM runs Algorithm 1 on a database described by its feature index (the
+// binary matrix Y via inverted lists) and a full pairwise dissimilarity
+// matrix delta. It returns the weight vector and the selected dimensions.
+func DSPM(idx *vecspace.Index, delta [][]float64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n, m := idx.N, idx.P
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("core: empty problem (n=%d, m=%d)", n, m)
+	}
+	if len(delta) != n {
+		return nil, fmt.Errorf("core: delta is %d×?, want %d×%d", len(delta), n, n)
+	}
+	if cfg.P <= 0 || cfg.P > m {
+		return nil, fmt.Errorf("core: P=%d out of range (0, %d]", cfg.P, m)
+	}
+
+	s := &state{idx: idx, delta: delta, cfg: cfg, n: n, m: m}
+	s.c = make([]float64, m)
+	for r := range s.c {
+		s.c[r] = 1 / math.Sqrt(float64(m))
+	}
+
+	res := &Result{}
+	prev := math.Inf(1)
+	cur := s.computeObj()
+	res.Objectives = append(res.Objectives, cur)
+	for k := 1; prev-cur > cfg.Epsilon && k <= cfg.MaxIter; k++ {
+		xbar := s.updateXbar()
+		s.c = s.updateC(xbar)
+		prev, cur = cur, s.computeObj()
+		res.Objectives = append(res.Objectives, cur)
+		res.Iterations = k
+	}
+
+	res.C = append([]float64(nil), s.c...)
+	res.Selected = TopWeights(s.c, cfg.P)
+	return res, nil
+}
+
+// TopWeights returns the indices of the p largest weights, descending,
+// breaking ties by ascending index for determinism.
+func TopWeights(c []float64, p int) []int {
+	idx := make([]int, len(c))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if c[idx[a]] != c[idx[b]] {
+			return c[idx[a]] > c[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if p > len(idx) {
+		p = len(idx)
+	}
+	return append([]int(nil), idx[:p]...)
+}
+
+// state carries one DSPM run. The configuration z of Algorithm 1 is not
+// materialized: z_ir = y_ir * c_r, so the inverted lists plus c determine
+// it implicitly.
+type state struct {
+	idx   *vecspace.Index
+	delta [][]float64
+	cfg   Config
+	n, m  int
+	c     []float64
+}
+
+// pairDistance computes d(z_i, z_j) = sqrt(Σ_{r: y_ir≠y_jr} c_r^2) by
+// walking the symmetric difference of the graphs' feature lists
+// (Algorithm 4's inner loop).
+func (s *state) pairDistance(i, j int) float64 {
+	sum := 0.0
+	s.idx.SymmetricDifferenceFeatures(i, j, func(r int) {
+		sum += s.c[r] * s.c[r]
+	})
+	return math.Sqrt(sum)
+}
+
+// pairDistanceDense computes the same distance by scanning all m features.
+func (s *state) pairDistanceDense(i, j int) float64 {
+	inI := memberSet(s.idx.IG[i], s.m)
+	inJ := memberSet(s.idx.IG[j], s.m)
+	sum := 0.0
+	for r := 0; r < s.m; r++ {
+		if inI[r] != inJ[r] {
+			sum += s.c[r] * s.c[r]
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+func memberSet(list []int, m int) []bool {
+	b := make([]bool, m)
+	for _, r := range list {
+		b[r] = true
+	}
+	return b
+}
+
+// computeObj is Algorithm 4: E(z) = Σ_{i,j} (d(z_i,z_j) − δ_ij)^2 over
+// ordered pairs (the paper's double sum), i.e. twice the i<j sum.
+func (s *state) computeObj() float64 {
+	e := 0.0
+	for i := 0; i < s.n; i++ {
+		for j := i + 1; j < s.n; j++ {
+			var d float64
+			if s.cfg.DenseObjective {
+				d = s.pairDistanceDense(i, j)
+			} else {
+				d = s.pairDistance(i, j)
+			}
+			diff := d - s.delta[i][j]
+			e += 2 * diff * diff
+		}
+	}
+	return e
+}
+
+// updateXbar is Algorithm 3: x̄_ir = (1/n) Σ_k b_ik z_kr with the Guttman
+// transform weights b of Eq. (8); the sum only ranges over g_k ∈ IF_r
+// because z_kr = 0 elsewhere.
+func (s *state) updateXbar() [][]float64 {
+	n := s.n
+	// b matrix (Eq. 8).
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := s.pairDistance(i, j)
+			var v float64
+			if d != 0 {
+				v = -s.delta[i][j] / d
+			}
+			b[i][j] = v
+			b[j][i] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		diag := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				diag -= b[i][j]
+			}
+		}
+		b[i][i] = diag
+	}
+
+	xbar := make([][]float64, n)
+	for i := range xbar {
+		xbar[i] = make([]float64, s.m)
+	}
+	if s.cfg.DenseXbar {
+		// Ablation: ignore the IF lists and walk every graph for every
+		// feature, multiplying by z_kr (mostly zero).
+		for i := 0; i < n; i++ {
+			for r := 0; r < s.m; r++ {
+				sum := 0.0
+				for k := 0; k < n; k++ {
+					sum += b[i][k] * s.z(k, r)
+				}
+				xbar[i][r] = sum / float64(n)
+			}
+		}
+		return xbar
+	}
+	// Algorithm 3: skip graphs outside IF_r (their z_kr is zero).
+	inv := 1 / float64(n)
+	for r := 0; r < s.m; r++ {
+		cr := s.c[r]
+		if cr == 0 {
+			continue
+		}
+		list := s.idx.IF[r]
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			bi := b[i]
+			for _, k := range list {
+				sum += bi[k]
+			}
+			xbar[i][r] = sum * cr * inv
+		}
+	}
+	return xbar
+}
+
+// z returns z_kr = y_kr * c_r.
+func (s *state) z(k, r int) float64 {
+	list := s.idx.IG[k]
+	pos := sort.SearchInts(list, r)
+	if pos < len(list) && list[pos] == r {
+		return s.c[r]
+	}
+	return 0
+}
+
+// updateC computes the next weight vector. The default path is Algorithm 2
+// (the simplified Eq. (9) of Theorem 5.1); the naive path evaluates Eq.
+// (7) directly over all graph pairs.
+func (s *state) updateC(xbar [][]float64) []float64 {
+	if s.cfg.NaiveUpdateC {
+		return s.updateCNaive(xbar)
+	}
+	n := s.n
+	c := make([]float64, s.m)
+	for r := 0; r < s.m; r++ {
+		sup := len(s.idx.IF[r])
+		if sup == 0 || sup == n {
+			// Degenerate feature: y_ir is constant, Eq. (7)'s denominator
+			// vanishes and the feature carries no distance information.
+			c[r] = 0
+			continue
+		}
+		denom := float64(sup) * float64(n-sup)
+		inIF := memberSet(s.idx.IF[r], n)
+		num := 0.0
+		for i := 0; i < n; i++ {
+			y := 0.0
+			if inIF[i] {
+				y = 1
+			}
+			num += xbar[i][r] * (float64(n)*y - float64(sup))
+		}
+		c[r] = num / denom
+	}
+	return c
+}
+
+// updateCNaive evaluates Eq. (7) directly:
+// c_r = Σ_{i,j} (x̄_ir − x̄_jr)(y_ir − y_jr) / Σ_{i,j} (y_ir − y_jr)^2.
+func (s *state) updateCNaive(xbar [][]float64) []float64 {
+	n := s.n
+	c := make([]float64, s.m)
+	for r := 0; r < s.m; r++ {
+		inIF := memberSet(s.idx.IF[r], n)
+		num, den := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			yi := 0.0
+			if inIF[i] {
+				yi = 1
+			}
+			for j := 0; j < n; j++ {
+				yj := 0.0
+				if inIF[j] {
+					yj = 1
+				}
+				num += (xbar[i][r] - xbar[j][r]) * (yi - yj)
+				den += (yi - yj) * (yi - yj)
+			}
+		}
+		if den == 0 {
+			c[r] = 0
+			continue
+		}
+		c[r] = num / den
+	}
+	return c
+}

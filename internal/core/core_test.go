@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecspace"
+)
+
+// randomProblem builds a random binary feature matrix and a consistent
+// random dissimilarity matrix.
+func randomProblem(r *rand.Rand, n, m int) (*vecspace.Index, [][]float64) {
+	vs := make([]*vecspace.BitVector, n)
+	for i := range vs {
+		v := vecspace.NewBitVector(m)
+		for j := 0; j < m; j++ {
+			if r.Intn(2) == 0 {
+				v.Set(j)
+			}
+		}
+		vs[i] = v
+	}
+	idx := vecspace.BuildIndexFromVectors(vs)
+	delta := make([][]float64, n)
+	for i := range delta {
+		delta[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := r.Float64()
+			delta[i][j] = d
+			delta[j][i] = d
+		}
+	}
+	return idx, delta
+}
+
+func TestDSPMValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	idx, delta := randomProblem(r, 5, 4)
+	if _, err := DSPM(idx, delta, Config{P: 0}); err == nil {
+		t.Errorf("P=0 must error")
+	}
+	if _, err := DSPM(idx, delta, Config{P: 5}); err == nil {
+		t.Errorf("P>m must error")
+	}
+	if _, err := DSPM(idx, delta[:2], Config{P: 2}); err == nil {
+		t.Errorf("wrong delta shape must error")
+	}
+	empty := vecspace.BuildIndexFromVectors(nil)
+	if _, err := DSPM(empty, nil, Config{P: 1}); err == nil {
+		t.Errorf("empty problem must error")
+	}
+}
+
+func TestDSPMObjectiveMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx, delta := randomProblem(r, 6+r.Intn(10), 4+r.Intn(8))
+		res, err := DSPM(idx, delta, Config{P: 2, MaxIter: 15})
+		if err != nil {
+			return false
+		}
+		for k := 1; k < len(res.Objectives); k++ {
+			// Majorization guarantees non-increasing objective values up
+			// to floating point noise.
+			if res.Objectives[k] > res.Objectives[k-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem51SimplifiedUpdateMatchesNaive(t *testing.T) {
+	// Theorem 5.1: Eq. (9) equals Eq. (7). Run both variants lockstep and
+	// compare weight vectors after each full run.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx, delta := randomProblem(r, 5+r.Intn(8), 3+r.Intn(6))
+		fast, err1 := DSPM(idx, delta, Config{P: 2, MaxIter: 8})
+		slow, err2 := DSPM(idx, delta, Config{P: 2, MaxIter: 8, NaiveUpdateC: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(fast.C) != len(slow.C) {
+			return false
+		}
+		for r := range fast.C {
+			if math.Abs(fast.C[r]-slow.C[r]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseVariantsMatchOptimized(t *testing.T) {
+	// Algorithms 3 and 4 are pure optimizations; results must be
+	// identical to the dense computations.
+	r := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 10; iter++ {
+		idx, delta := randomProblem(r, 8, 6)
+		a, err1 := DSPM(idx, delta, Config{P: 3, MaxIter: 6})
+		b, err2 := DSPM(idx, delta, Config{P: 3, MaxIter: 6, DenseObjective: true, DenseXbar: true})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		for r := range a.C {
+			if math.Abs(a.C[r]-b.C[r]) > 1e-9 {
+				t.Fatalf("dense variant diverged at feature %d: %g vs %g", r, a.C[r], b.C[r])
+			}
+		}
+		for k := range a.Objectives {
+			if math.Abs(a.Objectives[k]-b.Objectives[k]) > 1e-6*(1+a.Objectives[k]) {
+				t.Fatalf("objective %d diverged: %g vs %g", k, a.Objectives[k], b.Objectives[k])
+			}
+		}
+	}
+}
+
+func TestDSPMPerfectRecovery(t *testing.T) {
+	// Construct a problem where δ is exactly the mapped distance induced
+	// by a known subset of features with equal weights. DSPM should drive
+	// the objective near zero and rank the informative features first.
+	r := rand.New(rand.NewSource(9))
+	n, m := 20, 10
+	informative := []int{1, 4, 7}
+	vs := make([]*vecspace.BitVector, n)
+	for i := range vs {
+		v := vecspace.NewBitVector(m)
+		for j := 0; j < m; j++ {
+			if r.Intn(2) == 0 {
+				v.Set(j)
+			}
+		}
+		vs[i] = v
+	}
+	idx := vecspace.BuildIndexFromVectors(vs)
+	w := 1 / math.Sqrt(float64(len(informative)))
+	delta := make([][]float64, n)
+	for i := range delta {
+		delta[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			for _, f := range informative {
+				if vs[i].Get(f) != vs[j].Get(f) {
+					s += w * w
+				}
+			}
+			d := math.Sqrt(s)
+			delta[i][j] = d
+			delta[j][i] = d
+		}
+	}
+	res, err := DSPM(idx, delta, Config{P: 3, MaxIter: 100, Epsilon: 1e-10})
+	if err != nil {
+		t.Fatalf("DSPM: %v", err)
+	}
+	final := res.Objectives[len(res.Objectives)-1]
+	if final > 0.05 {
+		t.Errorf("objective did not approach zero: %g", final)
+	}
+	sel := map[int]bool{}
+	for _, f := range res.Selected {
+		sel[f] = true
+	}
+	for _, f := range informative {
+		if !sel[f] {
+			t.Errorf("informative feature %d not selected; got %v (weights %v)", f, res.Selected, res.C)
+		}
+	}
+}
+
+func TestTopWeights(t *testing.T) {
+	c := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	got := TopWeights(c, 3)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopWeights = %v, want %v", got, want)
+		}
+	}
+	if len(TopWeights(c, 10)) != 5 {
+		t.Errorf("TopWeights should clamp p to len(c)")
+	}
+}
+
+func TestDSPMDegenerateFeatures(t *testing.T) {
+	// Feature contained by all graphs and feature contained by none must
+	// get weight 0 and never be selected ahead of informative features.
+	n, m := 10, 4
+	vs := make([]*vecspace.BitVector, n)
+	r := rand.New(rand.NewSource(4))
+	for i := range vs {
+		v := vecspace.NewBitVector(m)
+		v.Set(0) // feature 0: support n
+		// feature 1: support 0 (never set)
+		if r.Intn(2) == 0 {
+			v.Set(2)
+		}
+		if r.Intn(2) == 0 {
+			v.Set(3)
+		}
+		vs[i] = v
+	}
+	idx := vecspace.BuildIndexFromVectors(vs)
+	delta := make([][]float64, n)
+	for i := range delta {
+		delta[i] = make([]float64, n)
+		for j := range delta[i] {
+			if i != j {
+				delta[i][j] = 0.5
+			}
+		}
+	}
+	res, err := DSPM(idx, delta, Config{P: 2, MaxIter: 10})
+	if err != nil {
+		t.Fatalf("DSPM: %v", err)
+	}
+	if res.C[0] != 0 || res.C[1] != 0 {
+		t.Errorf("degenerate features should have zero weight, got %v", res.C)
+	}
+	for _, f := range res.Selected {
+		if f == 0 || f == 1 {
+			t.Errorf("degenerate feature %d selected", f)
+		}
+	}
+}

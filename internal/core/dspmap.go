@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vecspace"
+)
+
+// Dissim supplies the graph dissimilarity δ(g_i, g_j) for global database
+// indices on demand. DSPMap only ever evaluates it within partitions and
+// merge samples, which is the source of its scalability: the full n×n
+// matrix is never materialized (Theorem 5.3's O(b(b+m')) memory).
+type Dissim func(i, j int) float64
+
+// MapConfig controls a DSPMap run.
+type MapConfig struct {
+	// Core configures the DSPM sub-runs (P is the final dimension count).
+	Core Config
+	// B is the partition size b. Must be >= 2.
+	B int
+	// SampleSize is n_o, the number of graphs sampled to build the two
+	// center sets during partitioning. Zero means the default 20.
+	SampleSize int
+	// Seed drives the random choices (center sampling, merge sampling).
+	Seed int64
+	// RandomPartition replaces Algorithm 7's similarity-driven
+	// partitioning with a uniformly random one — exposed for the ablation
+	// bench that quantifies the value of grouping similar graphs.
+	RandomPartition bool
+}
+
+// DSPMap runs Algorithm 5: partition the database into ⌈n/b⌉ parts of
+// similar graphs (Algorithm 7), then recursively combine per-partition
+// DSPM weight vectors (Algorithm 6). The result's C accumulates the
+// sub-run weights; Selected is the final top-p dimension set.
+func DSPMap(idx *vecspace.Index, dis Dissim, cfg MapConfig) (*Result, error) {
+	if cfg.B < 2 {
+		return nil, fmt.Errorf("core: DSPMap partition size B=%d, want >= 2", cfg.B)
+	}
+	if idx.N == 0 || idx.P == 0 {
+		return nil, fmt.Errorf("core: empty problem (n=%d, m=%d)", idx.N, idx.P)
+	}
+	if cfg.Core.P <= 0 || cfg.Core.P > idx.P {
+		return nil, fmt.Errorf("core: P=%d out of range (0, %d]", cfg.Core.P, idx.P)
+	}
+	if cfg.SampleSize == 0 {
+		cfg.SampleSize = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	d := &dspmap{idx: idx, dis: dis, cfg: cfg, rng: rng}
+	all := make([]int, idx.N)
+	for i := range all {
+		all[i] = i
+	}
+	d.vectors = make([]*vecspace.BitVector, idx.N)
+	for i := range d.vectors {
+		d.vectors[i] = idx.Vector(i)
+	}
+
+	var parts [][]int
+	if cfg.RandomPartition {
+		parts = d.randomPartition(all)
+	} else {
+		parts = d.partition(all)
+	}
+	c := d.computeC(parts)
+
+	return &Result{
+		C:        c,
+		Selected: TopWeights(c, cfg.Core.P),
+	}, nil
+}
+
+type dspmap struct {
+	idx     *vecspace.Index
+	dis     Dissim
+	cfg     MapConfig
+	rng     *rand.Rand
+	vectors []*vecspace.BitVector
+}
+
+// partition is Algorithm 7: recursively split ids into parts of at most b
+// graphs, grouping graphs with similar binary vectors and balancing so
+// every left subtree holds a multiple of b graphs.
+func (d *dspmap) partition(ids []int) [][]int {
+	b := d.cfg.B
+	if len(ids) <= b {
+		return [][]int{ids}
+	}
+	// Sample n_o graphs and split them into two center sets.
+	no := d.cfg.SampleSize
+	if no > len(ids) {
+		no = len(ids)
+	}
+	if no < 2 {
+		no = 2
+	}
+	perm := d.rng.Perm(len(ids))
+	sample := make([]int, no)
+	for i := 0; i < no; i++ {
+		sample[i] = ids[perm[i]]
+	}
+	ol, or := d.splitCenters(sample)
+
+	inSample := make(map[int]bool, no)
+	for _, id := range sample {
+		inSample[id] = true
+	}
+	left := append([]int(nil), ol...)
+	right := append([]int(nil), or...)
+	for _, id := range ids {
+		if inSample[id] {
+			continue
+		}
+		if d.centerDistance(id, ol) <= d.centerDistance(id, or) {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+
+	// Balance: the left subtree must hold n_l = ⌊n_p/2⌋ × b graphs.
+	np := (len(ids) + b - 1) / b
+	nl := (np / 2) * b
+	if len(left) > nl {
+		d.moveFarthest(&left, &right, len(left)-nl, ol)
+	} else if len(left) < nl {
+		d.moveFarthest(&right, &left, nl-len(left), or)
+	}
+
+	out := d.partition(left)
+	return append(out, d.partition(right)...)
+}
+
+// randomPartition shuffles ids and cuts them into ⌈n/b⌉ chunks — the
+// ablation counterpart of partition.
+func (d *dspmap) randomPartition(ids []int) [][]int {
+	b := d.cfg.B
+	shuffled := append([]int(nil), ids...)
+	d.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	var out [][]int
+	for len(shuffled) > 0 {
+		end := b
+		if end > len(shuffled) {
+			end = len(shuffled)
+		}
+		out = append(out, shuffled[:end])
+		shuffled = shuffled[end:]
+	}
+	return out
+}
+
+// splitCenters clusters the sampled graphs into two center sets by their
+// binary vectors (two-means on the Hamming geometry).
+func (d *dspmap) splitCenters(sample []int) (ol, or []int) {
+	if len(sample) < 2 {
+		return sample, nil
+	}
+	// Seed with the pair realizing the max distance within a scan budget,
+	// then assign each sample to the closer seed.
+	s0, s1 := sample[0], sample[1]
+	bestD := -1.0
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			dd := d.vectors[sample[i]].Distance(d.vectors[sample[j]])
+			if dd > bestD {
+				bestD, s0, s1 = dd, sample[i], sample[j]
+			}
+		}
+	}
+	for _, id := range sample {
+		if d.vectors[id].Distance(d.vectors[s0]) <= d.vectors[id].Distance(d.vectors[s1]) {
+			ol = append(ol, id)
+		} else {
+			or = append(or, id)
+		}
+	}
+	if len(or) == 0 { // degenerate: all vectors identical
+		or = append(or, ol[len(ol)-1])
+		ol = ol[:len(ol)-1]
+	}
+	return ol, or
+}
+
+// centerDistance is the graph-center distance d(g_i, O) = mean distance
+// from g_i to the members of O.
+func (d *dspmap) centerDistance(id int, centers []int) float64 {
+	if len(centers) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, c := range centers {
+		s += d.vectors[id].Distance(d.vectors[c])
+	}
+	return s / float64(len(centers))
+}
+
+// moveFarthest moves k graphs with the largest distance to the source's
+// center set from src to dst (the balancing step of Algorithm 7).
+func (d *dspmap) moveFarthest(src, dst *[]int, k int, centers []int) {
+	type scored struct {
+		id int
+		d  float64
+	}
+	sc := make([]scored, len(*src))
+	for i, id := range *src {
+		sc[i] = scored{id, d.centerDistance(id, centers)}
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].d > sc[j].d })
+	moved := make(map[int]bool, k)
+	for i := 0; i < k && i < len(sc); i++ {
+		moved[sc[i].id] = true
+		*dst = append(*dst, sc[i].id)
+	}
+	keep := (*src)[:0]
+	for _, id := range *src {
+		if !moved[id] {
+			keep = append(keep, id)
+		}
+	}
+	*src = keep
+}
+
+// computeC is Algorithm 6: recursively compute the weight vector of the
+// left and right halves of the partition list, run DSPM on an overlap
+// sample bridging the halves, and sum the three vectors.
+func (d *dspmap) computeC(parts [][]int) []float64 {
+	if len(parts) == 1 {
+		return d.runDSPM(parts[0])
+	}
+	mid := (len(parts) + 1) / 2
+	cl := d.computeC(parts[:mid])
+	cr := d.computeC(parts[mid:])
+
+	// Overlap: b graphs sampled from one random part of each half.
+	pl := parts[d.rng.Intn(mid)]
+	pr := parts[mid+d.rng.Intn(len(parts)-mid)]
+	pool := append(append([]int(nil), pl...), pr...)
+	d.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > d.cfg.B {
+		pool = pool[:d.cfg.B]
+	}
+	co := d.runDSPM(pool)
+
+	c := make([]float64, d.idx.P)
+	for r := range c {
+		c[r] = cl[r] + cr[r] + co[r]
+	}
+	return c
+}
+
+// runDSPM solves the restricted problem on the given global graph ids,
+// using only features with non-empty local support (F' in Algorithm 6),
+// and scatters the local weights back into a global-length vector.
+func (d *dspmap) runDSPM(ids []int) []float64 {
+	c := make([]float64, d.idx.P)
+	if len(ids) < 2 {
+		return c
+	}
+	pos := make(map[int]int, len(ids))
+	for localI, id := range ids {
+		pos[id] = localI
+	}
+	// Local feature set and inverted lists.
+	var feats []int
+	localIF := make([][]int, 0)
+	for r := 0; r < d.idx.P; r++ {
+		var lst []int
+		for _, g := range d.idx.IF[r] {
+			if li, ok := pos[g]; ok {
+				lst = append(lst, li)
+			}
+		}
+		if len(lst) > 0 {
+			feats = append(feats, r)
+			sort.Ints(lst)
+			localIF = append(localIF, lst)
+		}
+	}
+	if len(feats) == 0 {
+		return c
+	}
+	local := &vecspace.Index{N: len(ids), P: len(feats), IF: localIF, IG: make([][]int, len(ids))}
+	for lr, lst := range localIF {
+		for _, li := range lst {
+			local.IG[li] = append(local.IG[li], lr)
+		}
+	}
+	for i := range local.IG {
+		sort.Ints(local.IG[i])
+	}
+	delta := make([][]float64, len(ids))
+	for i := range delta {
+		delta[i] = make([]float64, len(ids))
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			v := d.dis(ids[i], ids[j])
+			delta[i][j] = v
+			delta[j][i] = v
+		}
+	}
+	p := d.cfg.Core.P
+	if p > len(feats) {
+		p = len(feats)
+	}
+	sub := d.cfg.Core
+	sub.P = p
+	res, err := DSPM(local, delta, sub)
+	if err != nil {
+		// Restricted problems are non-empty by construction; an error here
+		// is a programming bug, not a data condition.
+		panic(fmt.Sprintf("core: restricted DSPM failed: %v", err))
+	}
+	for lr, r := range feats {
+		c[r] += res.C[lr]
+	}
+	return c
+}

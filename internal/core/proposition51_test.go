@@ -1,0 +1,49 @@
+package core
+
+// Property test for Proposition 5.1: for binary feature vectors,
+// Σ_i y_ir = |sup(f_r)| and Σ_i y_ir² = |sup(f_r)| — the identity that
+// collapses Eq. (7)'s denominator into |sup|(n−|sup|) (Theorem 5.1).
+// Stated over the inverted-list representation the algorithms actually
+// use.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecspace"
+)
+
+func TestProposition51(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := 2+r.Intn(12), 1+r.Intn(10)
+		vs := make([]*vecspace.BitVector, n)
+		for i := range vs {
+			v := vecspace.NewBitVector(m)
+			for j := 0; j < m; j++ {
+				if r.Intn(2) == 0 {
+					v.Set(j)
+				}
+			}
+			vs[i] = v
+		}
+		idx := vecspace.BuildIndexFromVectors(vs)
+		for r2 := 0; r2 < m; r2++ {
+			sum, sumSq := 0, 0
+			for i := 0; i < n; i++ {
+				if vs[i].Get(r2) {
+					sum++
+					sumSq++ // y² = y for binary entries
+				}
+			}
+			if sum != len(idx.IF[r2]) || sumSq != len(idx.IF[r2]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestChemicalShape(t *testing.T) {
+	db := Chemical(ChemConfig{N: 50, Seed: 1})
+	if len(db) != 50 {
+		t.Fatalf("got %d graphs, want 50", len(db))
+	}
+	for i, g := range db {
+		if g.N() < 4 || g.N() > 22 {
+			t.Errorf("graph %d has %d vertices, outside molecule range", i, g.N())
+		}
+		if !g.Connected() {
+			t.Errorf("graph %d disconnected", i)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) > 5 {
+				t.Errorf("graph %d vertex %d degree %d, molecules stay <= 5", i, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestChemicalSizeBounds(t *testing.T) {
+	db := Chemical(ChemConfig{N: 100, MinVertices: 10, MaxVertices: 20, Seed: 2})
+	for i, g := range db {
+		// Scaffolds are at least 3 vertices; growth targets [10,20] but a
+		// saturated molecule may stop early — never above max+1 (one ring
+		// closure adds no vertex).
+		if g.N() > 20 {
+			t.Errorf("graph %d has %d vertices > max 20", i, g.N())
+		}
+	}
+}
+
+func TestChemicalDeterministic(t *testing.T) {
+	a := Chemical(ChemConfig{N: 10, Seed: 7})
+	b := Chemical(ChemConfig{N: 10, Seed: 7})
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("same seed produced different graph %d", i)
+		}
+	}
+	c := Chemical(ChemConfig{N: 10, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical databases")
+	}
+}
+
+func TestChemicalLabelSkew(t *testing.T) {
+	db := Chemical(ChemConfig{N: 200, Seed: 3})
+	counts := map[graph.Label]int{}
+	total := 0
+	for _, g := range db {
+		vh, _ := g.LabelHistogram()
+		for l, c := range vh {
+			counts[l] += c
+			total += c
+		}
+	}
+	carbonFrac := float64(counts[Carbon]) / float64(total)
+	if carbonFrac < 0.5 {
+		t.Errorf("carbon fraction %v, want organic-like dominance >= 0.5", carbonFrac)
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	db := Synthetic(SynthConfig{N: 60, AvgEdges: 20, Labels: 20, Density: 0.2, Seed: 4})
+	if len(db) != 60 {
+		t.Fatalf("got %d graphs, want 60", len(db))
+	}
+	sumEdges := 0
+	for i, g := range db {
+		if !g.Connected() {
+			t.Errorf("graph %d disconnected", i)
+		}
+		sumEdges += g.M()
+	}
+	avg := float64(sumEdges) / float64(len(db))
+	if avg < 15 || avg > 25 {
+		t.Errorf("average edges %v, want ≈20", avg)
+	}
+}
+
+func TestSyntheticDensity(t *testing.T) {
+	for _, density := range []float64{0.1, 0.2, 0.3} {
+		db := Synthetic(SynthConfig{N: 80, AvgEdges: 20, Density: density, Seed: 5})
+		sum := 0.0
+		for _, g := range db {
+			v := float64(g.N())
+			sum += 2 * float64(g.M()) / (v * (v - 1))
+		}
+		avg := sum / float64(len(db))
+		if avg < density*0.7 || avg > density*1.4 {
+			t.Errorf("target density %v, measured %v", density, avg)
+		}
+	}
+}
+
+func TestSyntheticVariesSize(t *testing.T) {
+	small := Synthetic(SynthConfig{N: 40, AvgEdges: 12, Density: 0.2, Seed: 6})
+	large := Synthetic(SynthConfig{N: 40, AvgEdges: 20, Density: 0.2, Seed: 6})
+	sumS, sumL := 0, 0
+	for i := range small {
+		sumS += small[i].M()
+		sumL += large[i].M()
+	}
+	if sumS >= sumL {
+		t.Errorf("AvgEdges=12 produced more edges (%d) than AvgEdges=20 (%d)", sumS, sumL)
+	}
+}
+
+func TestSyntheticLabelCount(t *testing.T) {
+	db := Synthetic(SynthConfig{N: 50, Labels: 5, Seed: 7})
+	seen := map[graph.Label]bool{}
+	for _, g := range db {
+		vh, _ := g.LabelHistogram()
+		for l := range vh {
+			seen[l] = true
+			if int(l) >= 5 {
+				t.Fatalf("label %d outside [0,5)", l)
+			}
+		}
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d of 5 labels used across 50 graphs", len(seen))
+	}
+}

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tiny returns a fast-to-build harness configuration for integration
+// tests. Everything downstream (figures, benches) runs on this shape.
+// The feature set must keep the anti-monotone redundancy of real frequent
+// subgraph sets (low tau, pattern depth) or the Original/Sample baselines
+// become artificially strong and the paper's ordering disappears.
+func tiny() Config {
+	return Config{
+		DBSize:      60,
+		QueryCount:  12,
+		Tau:         0.05,
+		MaxEdges:    6,
+		MCSBudget:   1500,
+		BaselineCap: 150,
+		Seed:        1,
+	}
+}
+
+var chemCache *Dataset
+
+func chemDS(t *testing.T) *Dataset {
+	t.Helper()
+	if chemCache != nil {
+		return chemCache
+	}
+	ds, err := BuildChemical(tiny())
+	if err != nil {
+		t.Fatalf("BuildChemical: %v", err)
+	}
+	chemCache = ds
+	return ds
+}
+
+func TestBuildChemicalShape(t *testing.T) {
+	ds := chemDS(t)
+	if len(ds.DB) != 60 || len(ds.Queries) != 12 {
+		t.Fatalf("dataset shape wrong: %d db, %d queries", len(ds.DB), len(ds.Queries))
+	}
+	if ds.Index.P == 0 {
+		t.Fatalf("no candidate features mined")
+	}
+	if len(ds.Delta) != 60 {
+		t.Fatalf("delta matrix wrong size")
+	}
+	for i := range ds.Delta {
+		if ds.Delta[i][i] != 0 {
+			t.Errorf("delta diagonal not zero at %d", i)
+		}
+		for j := range ds.Delta {
+			if ds.Delta[i][j] != ds.Delta[j][i] {
+				t.Fatalf("delta not symmetric at %d,%d", i, j)
+			}
+			if ds.Delta[i][j] < 0 || ds.Delta[i][j] > 1 {
+				t.Fatalf("delta out of range at %d,%d: %v", i, j, ds.Delta[i][j])
+			}
+		}
+	}
+	if len(ds.ExactRankings) != 12 || len(ds.FPRankings) != 12 {
+		t.Fatalf("rankings not cached for all queries")
+	}
+	for qi, r := range ds.ExactRankings {
+		if len(r) != 60 {
+			t.Fatalf("exact ranking %d has %d entries", qi, len(r))
+		}
+	}
+}
+
+func TestBuildSyntheticShape(t *testing.T) {
+	cfg := tiny()
+	cfg.DBSize = 30
+	cfg.QueryCount = 5
+	ds, err := BuildSynthetic(cfg)
+	if err != nil {
+		t.Fatalf("BuildSynthetic: %v", err)
+	}
+	if len(ds.DB) != 30 || ds.Index.P == 0 {
+		t.Fatalf("synthetic dataset malformed")
+	}
+}
+
+func TestEvaluateSelectionBounds(t *testing.T) {
+	ds := chemDS(t)
+	algos := StandardAlgorithms(1)
+	// DSPM only (algos[0]) for speed.
+	sel, dur, err := algos[0].Run(ds, 10)
+	if err != nil {
+		t.Fatalf("DSPM run: %v", err)
+	}
+	if dur <= 0 {
+		t.Errorf("indexing time not measured")
+	}
+	q, timing := EvaluateSelection(ds, sel, 4)
+	if q.Precision < 0 || q.Precision > 1 {
+		t.Errorf("precision out of range: %v", q.Precision)
+	}
+	if q.KendallTau < 0 {
+		t.Errorf("negative tau: %v", q.KendallTau)
+	}
+	if q.RankDist < 0 {
+		t.Errorf("negative rank distance: %v", q.RankDist)
+	}
+	if timing.Total() <= 0 {
+		t.Errorf("query timing not measured")
+	}
+}
+
+// binaryStress is the evaluation-space stress Σ_{i<j} (d(yi,yj) − δij)²
+// over the binary vectors restricted to sel — the distance-preservation
+// quantity DSPM exists to minimize.
+func binaryStress(ds *Dataset, sel []int) float64 {
+	vecs := SelectionVectors(ds, sel)
+	e := 0.0
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			d := vecs[i].Distance(vecs[j]) - ds.Delta[i][j]
+			e += d * d
+		}
+	}
+	return e
+}
+
+func TestDSPMBeatsBaselinesOnDistancePreservation(t *testing.T) {
+	// The paper's core claim (Fig. 1, Exp-1): DSPM's dimensions preserve
+	// the graph dissimilarity better than both random sampling and the
+	// full frequent-subgraph space. Binary stress is the direct measure;
+	// top-k precision is its noisy downstream at this scale and is
+	// exercised in the figure benches at larger scale.
+	ds := chemDS(t)
+	p := ds.Index.P / 4
+	dspmSel, _, err := DSPMAlgorithm(core.Config{MaxIter: 60}).Run(ds, p)
+	if err != nil {
+		t.Fatalf("DSPM: %v", err)
+	}
+	sd := binaryStress(ds, dspmSel)
+	var sampleSum float64
+	const trials = 3
+	for s := int64(0); s < trials; s++ {
+		sampleSel, _, err := StandardAlgorithms(3 + s)[2].Run(ds, p)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		sampleSum += binaryStress(ds, sampleSel)
+	}
+	all := make([]int, ds.Index.P)
+	for i := range all {
+		all[i] = i
+	}
+	so := binaryStress(ds, all)
+	if sd >= sampleSum/trials {
+		t.Errorf("DSPM stress %v not below Sample average %v", sd, sampleSum/trials)
+	}
+	if sd >= so {
+		t.Errorf("DSPM stress %v not below Original %v", sd, so)
+	}
+}
+
+func TestBenchmarkQualityAndRelative(t *testing.T) {
+	ds := chemDS(t)
+	bench := BenchmarkQuality(ds, 4)
+	if bench.Precision < 0 || bench.Precision > 1 {
+		t.Fatalf("benchmark precision out of range: %v", bench.Precision)
+	}
+	q := Quality{Precision: 0.5, KendallTau: 0.2, RankDist: 1}
+	rel := q.RelativeTo(Quality{Precision: 0.5, KendallTau: 0.4, RankDist: 0})
+	if rel.Precision != 1 || rel.KendallTau != 0.5 || rel.RankDist != 1 {
+		t.Errorf("RelativeTo wrong: %+v", rel)
+	}
+}
+
+func TestHistogramAndEMD(t *testing.T) {
+	h := NewHistogram([]float64{0.05, 0.05, 0.95, 1.0}, 10)
+	if h.Bins[0] != 0.5 || h.Bins[9] != 0.5 {
+		t.Errorf("histogram binning wrong: %v", h.Bins)
+	}
+	if NewHistogram(nil, 4).Bins[0] != 0 {
+		t.Errorf("empty histogram should be zero")
+	}
+	same := NewHistogram([]float64{0.1, 0.9}, 10)
+	if same.EMD(same) != 0 {
+		t.Errorf("EMD to self must be 0")
+	}
+	a := NewHistogram([]float64{0.0}, 10)
+	b := NewHistogram([]float64{0.99}, 10)
+	if a.EMD(b) <= 0 {
+		t.Errorf("EMD between disjoint masses must be positive")
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	ds := chemDS(t)
+	res, err := Fig1(ds, ds.Index.P/4, 10)
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	for _, h := range []Histogram{res.DeltaDB, res.DSPMDB, res.OriginalDB, res.DeltaQ, res.DSPMQ, res.OriginalQ} {
+		sum := 0.0
+		for _, b := range h.Bins {
+			sum += b
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("histogram mass %v, want 1", sum)
+		}
+	}
+	// The paper's Fig 1 claim: DSPM's distance distribution tracks delta
+	// better than Original's.
+	if res.DSPMDB.EMD(res.DeltaDB) > res.OriginalDB.EMD(res.DeltaDB) {
+		t.Errorf("DSPM EMD %v worse than Original %v",
+			res.DSPMDB.EMD(res.DeltaDB), res.OriginalDB.EMD(res.DeltaDB))
+	}
+}
+
+func TestFig2CorrelationLower(t *testing.T) {
+	ds := chemDS(t)
+	pts, err := Fig2(ds, []int{8, 16}, 1)
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.DSPMScore < 0 || pt.SampleScore < 0 {
+			t.Errorf("negative correlation score")
+		}
+	}
+}
+
+func TestFigQualityAndWrite(t *testing.T) {
+	ds := chemDS(t)
+	// Subset of fast algorithms to keep the test quick.
+	algos := []Algorithm{DSPMAlgorithm(core.Config{}), StandardAlgorithms(1)[2]}
+	ks := []int{2, 4}
+	series := FigQuality(ds, algos, 10, ks, true)
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if s.Err != nil {
+			t.Fatalf("%s failed: %v", s.Name, s.Err)
+		}
+		for _, k := range ks {
+			if _, ok := s.ByK[k]; !ok {
+				t.Fatalf("%s missing k=%d", s.Name, k)
+			}
+		}
+	}
+	RelativeToBest(series, ks)
+	for _, s := range series {
+		for _, k := range ks {
+			if s.ByK[k].Precision > 1.0001 {
+				t.Errorf("relative-to-best precision above 1: %v", s.ByK[k].Precision)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteSeries(&buf, "test", series, ks)
+	if buf.Len() == 0 {
+		t.Errorf("WriteSeries produced nothing")
+	}
+}
+
+func TestFig7Buckets(t *testing.T) {
+	ds := chemDS(t)
+	res, err := Fig7(ds, 10, []int{0, 12, 22}, 1)
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if len(res.Buckets) != 2 {
+		t.Fatalf("bucket count wrong: %v", res.Buckets)
+	}
+}
+
+func TestFig8Points(t *testing.T) {
+	ds := chemDS(t)
+	pts, err := Fig8(ds, 10, 4, []int{10, 20}, 1)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.DSPMapPrec < 0 || pt.DSPMapPrec > 1 {
+			t.Errorf("DSPMap precision out of range: %v", pt.DSPMapPrec)
+		}
+		if pt.DSPMapIndexing <= 0 || pt.DSPMIndexing <= 0 {
+			t.Errorf("indexing times not measured")
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	cfg := tiny()
+	cfg.DBSize = 0 // let Fig9 set sizes
+	pts, err := Fig9([]int{30}, cfg, nil, 10, 3, 1)
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(pts) != 1 || pts[0].N != 30 {
+		t.Fatalf("Fig9 points wrong: %+v", pts)
+	}
+	if _, ok := pts[0].Precision["DSPMap"]; !ok {
+		t.Errorf("DSPMap missing from Fig9 results")
+	}
+	if pts[0].ExactQuery <= 0 {
+		t.Errorf("exact query time not measured")
+	}
+}
+
+func TestExactQueryTimingZeroQueries(t *testing.T) {
+	ds := chemDS(t)
+	if ExactQueryTiming(ds, 0) != 0 {
+		t.Errorf("zero queries must return 0")
+	}
+}

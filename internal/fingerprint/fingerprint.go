@@ -1,0 +1,154 @@
+// Package fingerprint implements a dictionary-based binary structural
+// fingerprint in the style of the PubChem 881-bit substructure fingerprint
+// the paper uses as its evaluation benchmark (Section 6, Measures), plus
+// the Tanimoto similarity the PubChem search ranks by.
+//
+// Substitution note (DESIGN.md §3): the real PubChem dictionary is a
+// curated list of SMARTS keys; this surrogate uses the same three key
+// families — element/bond count thresholds, ring counts, and labeled path
+// keys — hashed into a fixed 881-bit layout. The evaluation only needs a
+// fixed, deterministic, expert-style ranking to normalize the quality
+// measures against, which any such dictionary provides.
+package fingerprint
+
+import (
+	"hash/fnv"
+
+	"repro/internal/graph"
+	"repro/internal/vecspace"
+)
+
+// Bits is the fingerprint dimensionality, matching PubChem's dictionary.
+const Bits = 881
+
+// countKeys is the number of low bits reserved for counting keys; the
+// remaining bits hold hashed path keys.
+const countKeys = 120
+
+// Compute returns the fingerprint of g.
+func Compute(g *graph.Graph) *vecspace.BitVector {
+	v := vecspace.NewBitVector(Bits)
+	setCountKeys(g, v)
+	setPathKeys(g, v)
+	return v
+}
+
+// ComputeAll fingerprints a whole database.
+func ComputeAll(db []*graph.Graph) []*vecspace.BitVector {
+	out := make([]*vecspace.BitVector, len(db))
+	for i, g := range db {
+		out[i] = Compute(g)
+	}
+	return out
+}
+
+// Tanimoto returns |A ∩ B| / |A ∪ B| for two fingerprints (1 when both
+// are empty, matching the chemoinformatics convention for identical
+// nulls).
+func Tanimoto(a, b *vecspace.BitVector) float64 {
+	inter := a.IntersectionSize(b)
+	union := a.Ones() + b.Ones() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// setCountKeys sets threshold bits for element counts, bond-label counts,
+// ring counts and degree statistics — the "counting" section of the
+// PubChem dictionary.
+func setCountKeys(g *graph.Graph, v *vecspace.BitVector) {
+	vertexCounts, edgeCounts := g.LabelHistogram()
+	bit := 0
+	set := func(cond bool) {
+		if cond && bit < countKeys {
+			v.Set(bit)
+		}
+		bit++
+	}
+	// Element count thresholds: labels 0..7, thresholds 1,2,4,8.
+	for l := graph.Label(0); l < 8; l++ {
+		c := vertexCounts[l]
+		for _, th := range []int{1, 2, 4, 8} {
+			set(c >= th)
+		}
+	}
+	// Bond label thresholds: labels 0..3, thresholds 1,2,4,8.
+	for l := graph.Label(0); l < 4; l++ {
+		c := edgeCounts[l]
+		for _, th := range []int{1, 2, 4, 8} {
+			set(c >= th)
+		}
+	}
+	// Cyclomatic number (ring count) thresholds.
+	rings := g.M() - g.N() + len(g.Components())
+	for _, th := range []int{1, 2, 3} {
+		set(rings >= th)
+	}
+	// Degree statistics.
+	deg3, deg4 := 0, 0
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) >= 3 {
+			deg3++
+		}
+		if g.Degree(u) >= 4 {
+			deg4++
+		}
+	}
+	for _, th := range []int{1, 2, 4} {
+		set(deg3 >= th)
+	}
+	for _, th := range []int{1, 2} {
+		set(deg4 >= th)
+	}
+	// Size thresholds.
+	for _, th := range []int{5, 10, 15, 20} {
+		set(g.N() >= th)
+	}
+	for _, th := range []int{5, 10, 15, 20, 25} {
+		set(g.M() >= th)
+	}
+}
+
+// setPathKeys hashes every labeled path of length 2 and 3 (canonical
+// direction) into the upper bit range — the "substructure key" section.
+func setPathKeys(g *graph.Graph, v *vecspace.BitVector) {
+	hashKey := func(parts ...graph.Label) {
+		h := fnv.New32a()
+		var buf [4]byte
+		for _, p := range parts {
+			buf[0] = byte(p)
+			buf[1] = byte(p >> 8)
+			buf[2] = byte(p >> 16)
+			buf[3] = byte(p >> 24)
+			h.Write(buf[:])
+		}
+		bit := countKeys + int(h.Sum32()%(Bits-countKeys))
+		v.Set(bit)
+	}
+	// Length-2 paths: (la, lab, lb) with canonical orientation.
+	for _, e := range g.Edges() {
+		la, lb := g.VertexLabel(e.U), g.VertexLabel(e.V)
+		if la > lb {
+			la, lb = lb, la
+		}
+		hashKey(0, la, e.Label, lb)
+	}
+	// Length-3 paths a-b-c through every middle vertex b.
+	for b := 0; b < g.N(); b++ {
+		nbrs := g.Neighbors(b)
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				ha, hc := nbrs[i], nbrs[j]
+				la, lab := g.VertexLabel(ha.To), ha.Label
+				lc, lbc := g.VertexLabel(hc.To), hc.Label
+				// Canonical direction: lexicographically smaller end first.
+				if la > lc || (la == lc && lab > lbc) {
+					la, lc = lc, la
+					lab, lbc = lbc, lab
+				}
+				hashKey(1, la, lab, g.VertexLabel(b), lbc, lc)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package fingerprint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/vecspace"
+)
+
+func TestComputeDeterministic(t *testing.T) {
+	db := dataset.Chemical(dataset.ChemConfig{N: 5, Seed: 1})
+	for _, g := range db {
+		a, b := Compute(g), Compute(g)
+		if a.HammingDistance(b) != 0 {
+			t.Fatalf("fingerprint not deterministic")
+		}
+	}
+}
+
+func TestComputeDimension(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 0)
+	fp := Compute(g)
+	if fp.Len() != Bits {
+		t.Fatalf("fingerprint length %d, want %d", fp.Len(), Bits)
+	}
+	if fp.Ones() == 0 {
+		t.Errorf("non-empty graph produced empty fingerprint")
+	}
+}
+
+func TestTanimotoProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := dataset.Chemical(dataset.ChemConfig{N: 2, Seed: seed})
+		a, b := Compute(db[0]), Compute(db[1])
+		tab := Tanimoto(a, b)
+		if tab < 0 || tab > 1 {
+			return false
+		}
+		if Tanimoto(a, a) != 1 {
+			return false
+		}
+		_ = r
+		return math.Abs(Tanimoto(a, b)-Tanimoto(b, a)) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTanimotoEmpty(t *testing.T) {
+	a := vecspace.NewBitVector(Bits)
+	b := vecspace.NewBitVector(Bits)
+	if Tanimoto(a, b) != 1 {
+		t.Errorf("two empty fingerprints should have similarity 1")
+	}
+	c := vecspace.NewBitVector(Bits)
+	c.Set(3)
+	if Tanimoto(a, c) != 0 {
+		t.Errorf("empty vs non-empty should be 0")
+	}
+}
+
+func TestSimilarMoleculesScoreHigher(t *testing.T) {
+	// A molecule and its one-atom-removed variant must, in aggregate,
+	// score higher than the molecule against unrelated molecules.
+	db := dataset.Chemical(dataset.ChemConfig{N: 40, Seed: 10})
+	nearSum, farSum := 0.0, 0.0
+	cnt := 0
+	for i := 0; i+1 < len(db); i += 2 {
+		g := db[i]
+		// Drop the last vertex (a grown substituent) to get a close variant.
+		vs := make([]int, 0, g.N()-1)
+		for v := 0; v < g.N()-1; v++ {
+			vs = append(vs, v)
+		}
+		variant, _ := g.InducedSubgraph(vs)
+		nearSum += Tanimoto(Compute(g), Compute(variant))
+		farSum += Tanimoto(Compute(g), Compute(db[i+1]))
+		cnt++
+	}
+	if nearSum/float64(cnt) <= farSum/float64(cnt) {
+		t.Errorf("near-variant Tanimoto %v not above unrelated %v",
+			nearSum/float64(cnt), farSum/float64(cnt))
+	}
+}
+
+func TestIsomorphicGraphsShareFingerprint(t *testing.T) {
+	// Fingerprints are graph invariants: relabeling vertices must not
+	// change them.
+	r := rand.New(rand.NewSource(6))
+	db := dataset.Chemical(dataset.ChemConfig{N: 20, Seed: 6})
+	for _, g := range db {
+		perm := r.Perm(g.N())
+		inv := make([]int, g.N())
+		for newID, oldID := range perm {
+			inv[oldID] = newID
+		}
+		h := &graph.Graph{}
+		lbl := make([]graph.Label, g.N())
+		for old := 0; old < g.N(); old++ {
+			lbl[inv[old]] = g.VertexLabel(old)
+		}
+		for _, l := range lbl {
+			h.AddVertex(l)
+		}
+		for _, e := range g.Edges() {
+			h.MustAddEdge(inv[e.U], inv[e.V], e.Label)
+		}
+		if Compute(g).HammingDistance(Compute(h)) != 0 {
+			t.Fatalf("permuted molecule has different fingerprint")
+		}
+	}
+}

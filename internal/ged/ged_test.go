@@ -1,0 +1,170 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(r *rand.Rand, n, extraEdges, labels int) *graph.Graph {
+	g := &graph.Graph{}
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(r.Intn(v), v, graph.Label(r.Intn(labels)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, graph.Label(r.Intn(labels)))
+		}
+	}
+	return g
+}
+
+func TestExactSelfDistanceZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(5), r.Intn(3), 2)
+		return Exact(g, g, Options{Costs: DefaultCosts()}) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 2+r.Intn(4), r.Intn(2), 2)
+		b := randomGraph(r, 2+r.Intn(4), r.Intn(2), 2)
+		opt := Options{Costs: DefaultCosts()}
+		return math.Abs(Exact(a, b, opt)-Exact(b, a, opt)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 2+r.Intn(3), r.Intn(2), 2)
+		b := randomGraph(r, 2+r.Intn(3), r.Intn(2), 2)
+		c := randomGraph(r, 2+r.Intn(3), r.Intn(2), 2)
+		opt := Options{Costs: DefaultCosts()}
+		return Exact(a, c, opt) <= Exact(a, b, opt)+Exact(b, c, opt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactKnownValues(t *testing.T) {
+	c := DefaultCosts()
+	// Single vertex label 0 vs single vertex label 1: one substitution.
+	a := &graph.Graph{}
+	a.AddVertex(0)
+	b := &graph.Graph{}
+	b.AddVertex(1)
+	if got := Exact(a, b, Options{Costs: c}); got != 1 {
+		t.Errorf("relabel cost = %v, want 1", got)
+	}
+	// Edge vs no edge (same vertices): one edge deletion.
+	a2 := graph.New(2)
+	a2.MustAddEdge(0, 1, 0)
+	b2 := graph.New(2)
+	if got := Exact(a2, b2, Options{Costs: c}); got != 1 {
+		t.Errorf("edge deletion cost = %v, want 1", got)
+	}
+	// Empty vs two isolated vertices: two insertions.
+	if got := Exact(&graph.Graph{}, graph.New(2), Options{Costs: c}); got != 2 {
+		t.Errorf("two insertions = %v, want 2", got)
+	}
+}
+
+func TestApproximateUpperBoundsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 2+r.Intn(4), r.Intn(3), 2)
+		b := randomGraph(r, 2+r.Intn(4), r.Intn(3), 2)
+		c := DefaultCosts()
+		approx := Approximate(a, b, c)
+		exact := Exact(a, b, Options{Costs: c})
+		return approx >= exact-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetedNeverBelowExact(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		a := randomGraph(r, 5, 3, 2)
+		b := randomGraph(r, 5, 3, 2)
+		c := DefaultCosts()
+		exact := Exact(a, b, Options{Costs: c})
+		budgeted := Exact(a, b, Options{Costs: c, MaxNodes: 30})
+		if budgeted < exact-1e-9 {
+			t.Fatalf("budgeted GED %v below exact %v", budgeted, exact)
+		}
+	}
+}
+
+func TestHungarianSimple(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match := hungarian(cost)
+	total := 0.0
+	for i, j := range match {
+		total += cost[i][j]
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("assignment cost %v, want 5 (match %v)", total, match)
+	}
+}
+
+func TestPrototypeEmbedding(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	db := make([]*graph.Graph, 12)
+	for i := range db {
+		db[i] = randomGraph(r, 4+r.Intn(3), r.Intn(3), 2)
+	}
+	pe := SelectPrototypes(db, 4, DefaultCosts(), 1)
+	if len(pe.Prototypes) != 4 {
+		t.Fatalf("got %d prototypes, want 4", len(pe.Prototypes))
+	}
+	vecs := pe.EmbedAll(db)
+	for i, v := range vecs {
+		if len(v) != 4 {
+			t.Fatalf("embedding %d has dim %d", i, len(v))
+		}
+		for _, d := range v {
+			if d < 0 {
+				t.Fatalf("negative GED in embedding")
+			}
+		}
+	}
+	// A prototype's own embedding has a zero coordinate.
+	pv := pe.Embed(pe.Prototypes[0])
+	min := math.Inf(1)
+	for _, d := range pv {
+		if d < min {
+			min = d
+		}
+	}
+	if min != 0 {
+		t.Errorf("prototype self-embedding min coordinate %v, want 0", min)
+	}
+	if Distance([]float64{0, 3}, []float64{4, 0}) != 5 {
+		t.Errorf("Distance wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PrototypeEmbedding is the vector-space embedding of Riesen et al. [9]:
+// pick k prototype graphs from the database and map every graph to the
+// k-vector of its edit distances to the prototypes. It is the main
+// related-work alternative to the paper's subgraph dimensions; its flaw —
+// reproduced by our experiments — is that mapping a query costs k GED
+// computations, so the online query is barely cheaper than exact search.
+type PrototypeEmbedding struct {
+	Prototypes []*graph.Graph
+	Costs      Costs
+	// Budget bounds each GED branch-and-bound; 0 = exact.
+	Budget int64
+}
+
+// SelectPrototypes picks k spanning prototypes: the first is random, each
+// subsequent prototype is the graph farthest (by approximate GED) from the
+// already-chosen set — the "spanning" strategy of Riesen et al.
+func SelectPrototypes(db []*graph.Graph, k int, c Costs, seed int64) *PrototypeEmbedding {
+	if k > len(db) {
+		k = len(db)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := []int{rng.Intn(len(db))}
+	minDist := make([]float64, len(db))
+	for i := range minDist {
+		minDist[i] = Approximate(db[i], db[chosen[0]], c)
+	}
+	for len(chosen) < k {
+		best, bestD := -1, -1.0
+		for i := range db {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		chosen = append(chosen, best)
+		for i := range db {
+			if d := Approximate(db[i], db[best], c); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sort.Ints(chosen)
+	protos := make([]*graph.Graph, len(chosen))
+	for i, id := range chosen {
+		protos[i] = db[id]
+	}
+	return &PrototypeEmbedding{Prototypes: protos, Costs: c}
+}
+
+// Embed maps g to its prototype-distance vector.
+func (pe *PrototypeEmbedding) Embed(g *graph.Graph) []float64 {
+	out := make([]float64, len(pe.Prototypes))
+	for i, p := range pe.Prototypes {
+		if pe.Budget > 0 {
+			out[i] = Exact(g, p, Options{Costs: pe.Costs, MaxNodes: pe.Budget})
+		} else {
+			out[i] = Approximate(g, p, pe.Costs)
+		}
+	}
+	return out
+}
+
+// EmbedAll maps a whole database.
+func (pe *PrototypeEmbedding) EmbedAll(db []*graph.Graph) [][]float64 {
+	out := make([][]float64, len(db))
+	for i, g := range db {
+		out[i] = pe.Embed(g)
+	}
+	return out
+}
+
+// Distance is the Euclidean distance between embedded vectors.
+func Distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,25 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExampleParse demonstrates the text format shared with the gSpan
+// ecosystem.
+func ExampleParse() {
+	g, err := graph.Parse(`
+t # 0
+v 0 6
+v 1 6
+v 2 8
+e 0 1 1
+e 1 2 2
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.N(), g.M(), g.Connected())
+	// Output: 3 2 true
+}

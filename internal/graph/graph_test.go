@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) *Graph {
+	t.Helper()
+	g, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return g
+}
+
+const triangle = `
+t # 0
+v 0 1
+v 1 2
+v 2 3
+e 0 1 10
+e 1 2 11
+e 0 2 12
+`
+
+func TestParseBasic(t *testing.T) {
+	g := mustParse(t, triangle)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got N=%d M=%d, want 3,3", g.N(), g.M())
+	}
+	if g.VertexLabel(2) != 3 {
+		t.Errorf("VertexLabel(2) = %d, want 3", g.VertexLabel(2))
+	}
+	if l, ok := g.EdgeLabel(2, 1); !ok || l != 11 {
+		t.Errorf("EdgeLabel(2,1) = %d,%v, want 11,true", l, ok)
+	}
+	if _, ok := g.EdgeLabel(0, 0); ok {
+		t.Errorf("EdgeLabel(0,0) should not exist")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"edge before header", "e 0 1 0\n"},
+		{"vertex before header", "v 0 1\n"},
+		{"non-dense vertex", "t # 0\nv 1 1\n"},
+		{"malformed vertex", "t # 0\nv 0\n"},
+		{"malformed edge", "t # 0\nv 0 1\nv 1 1\ne 0 1\n"},
+		{"self-loop", "t # 0\nv 0 1\ne 0 0 1\n"},
+		{"dangling edge", "t # 0\nv 0 1\ne 0 5 1\n"},
+		{"duplicate edge", "t # 0\nv 0 1\nv 1 1\ne 0 1 1\ne 1 0 2\n"},
+		{"unknown record", "x 1 2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.in); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	g := mustParse(t, triangle)
+	g2 := mustParse(t, g.String())
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip size mismatch")
+	}
+	if g.Signature() != g2.Signature() {
+		t.Errorf("round trip signature mismatch")
+	}
+}
+
+func TestReadAllMultiple(t *testing.T) {
+	in := triangle + "\nt # 1\nv 0 7\n"
+	gs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(gs))
+	}
+	if gs[1].N() != 1 || gs[1].M() != 0 {
+		t.Errorf("second graph wrong shape")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(2, 3, 0)
+	if g.Connected() {
+		t.Errorf("two components reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	g.MustAddEdge(1, 2, 0)
+	if !g.Connected() {
+		t.Errorf("path graph reported disconnected")
+	}
+	if New(0).Connected() != true || New(1).Connected() != true {
+		t.Errorf("trivial graphs must be connected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := mustParse(t, triangle)
+	sub, remap := g.InducedSubgraph([]int{0, 2})
+	if sub.N() != 2 || sub.M() != 1 {
+		t.Fatalf("induced: N=%d M=%d, want 2,1", sub.N(), sub.M())
+	}
+	if l, ok := sub.EdgeLabel(remap[0], remap[2]); !ok || l != 12 {
+		t.Errorf("induced edge label = %d,%v, want 12,true", l, ok)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := mustParse(t, triangle)
+	c := g.Clone()
+	c.AddVertex(9)
+	c.MustAddEdge(0, 3, 5)
+	if g.N() != 3 || g.M() != 3 {
+		t.Errorf("mutating clone changed original")
+	}
+}
+
+// randomGraph builds a random simple labeled graph for property tests.
+func randomGraph(r *rand.Rand, n, extraEdges, labels int) *Graph {
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		g.AddVertex(Label(r.Intn(labels)))
+	}
+	// Spanning tree to keep it connected, then extra random edges.
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(r.Intn(v), v, Label(r.Intn(labels)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, Label(r.Intn(labels)))
+		}
+	}
+	return g
+}
+
+// permuted returns g with vertices renamed by a random permutation.
+func permuted(r *rand.Rand, g *Graph) *Graph {
+	perm := r.Perm(g.N())
+	h := &Graph{}
+	inv := make([]int, g.N())
+	for newID, oldID := range perm {
+		inv[oldID] = newID
+	}
+	for _, oldID := range perm {
+		_ = oldID
+		h.AddVertex(0)
+	}
+	for old := 0; old < g.N(); old++ {
+		h.labels[inv[old]] = g.VertexLabel(old)
+	}
+	for _, e := range g.Edges() {
+		h.MustAddEdge(inv[e.U], inv[e.V], e.Label)
+	}
+	return h
+}
+
+func TestSignatureInvariantUnderRelabeling(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randomGraph(rr, 3+rr.Intn(8), rr.Intn(6), 3)
+		p := permuted(r, g)
+		return g.Signature() == p.Signature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesSortedAndNormalized(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randomGraph(rr, 3+rr.Intn(8), rr.Intn(10), 4)
+		es := g.Edges()
+		for i, e := range es {
+			if e.U >= e.V {
+				return false
+			}
+			if i > 0 {
+				p := es[i-1]
+				if p.U > e.U || (p.U == e.U && p.V > e.V) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	g := mustParse(t, triangle)
+	vh, eh := g.LabelHistogram()
+	if len(vh) != 3 || vh[1] != 1 {
+		t.Errorf("vertex histogram wrong: %v", vh)
+	}
+	if len(eh) != 3 || eh[10] != 1 {
+		t.Errorf("edge histogram wrong: %v", eh)
+	}
+}

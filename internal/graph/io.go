@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is the de-facto standard used by gSpan and the graph
+// indexing literature:
+//
+//	t # <id...>        graph header (payload after '#' is ignored)
+//	v <id> <label>     vertex with dense id and integer label
+//	e <u> <v> <label>  undirected edge
+//
+// Blank lines and lines starting with '%' or '//' are ignored.
+
+// Parse reads a single graph in text format from s.
+func Parse(s string) (*Graph, error) {
+	gs, err := ReadAll(strings.NewReader(s))
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("graph: expected 1 graph, found %d", len(gs))
+	}
+	return gs[0], nil
+}
+
+// ReadAll reads a sequence of graphs in text format from r.
+func ReadAll(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var (
+		graphs []*Graph
+		cur    *Graph
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "t":
+			cur = &Graph{}
+			graphs = append(graphs, cur)
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("graph: line %d: vertex before graph header", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", lineNo, line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			l, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", lineNo, line)
+			}
+			if id != cur.N() {
+				return nil, fmt.Errorf("graph: line %d: non-dense vertex id %d (expected %d)", lineNo, id, cur.N())
+			}
+			cur.AddVertex(Label(l))
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before graph header", lineNo)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			l, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+			}
+			if err := cur.AddEdge(u, v, Label(l)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %v", err)
+	}
+	return graphs, nil
+}
+
+// WriteAll writes the graphs to w in text format.
+func WriteAll(w io.Writer, graphs []*Graph) error {
+	bw := bufio.NewWriter(w)
+	for i, g := range graphs {
+		fmt.Fprintf(bw, "t # %d\n", i)
+		for v := 0; v < g.N(); v++ {
+			fmt.Fprintf(bw, "v %d %d\n", v, g.VertexLabel(v))
+		}
+		for _, e := range g.Edges() {
+			fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.Label)
+		}
+	}
+	return bw.Flush()
+}

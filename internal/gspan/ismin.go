@@ -1,0 +1,192 @@
+package gspan
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// isMin reports whether code is the minimal DFS code of the pattern it
+// describes. gSpan prunes any search branch whose code is non-minimal,
+// which guarantees each pattern is enumerated exactly once.
+func isMin(code dfsCode) bool {
+	if len(code) == 1 {
+		return true
+	}
+	g := patternAsMineGraph(code)
+	c := &minChecker{g: g, code: code}
+
+	// Minimal first edge: the lexicographically smallest
+	// (fromLabel, eLabel, toLabel) arc of the pattern itself.
+	roots := map[rootKey]projected{}
+	for v := range g.adj {
+		for _, a := range g.adj[v] {
+			if g.vlabel[a.from] > g.vlabel[a.to] {
+				continue
+			}
+			k := rootKey{g.vlabel[a.from], a.label, g.vlabel[a.to]}
+			roots[k] = append(roots[k], &pdfs{gid: 0, edge: a})
+		}
+	}
+	var minKey rootKey
+	first := true
+	for k := range roots {
+		if first || lessRootKey(k, minKey) {
+			minKey, first = k, false
+		}
+	}
+	d := dfs{from: 0, to: 1, fromLabel: minKey.fromLabel, eLabel: minKey.eLabel, toLabel: minKey.toLabel}
+	if d != code[0] {
+		return false
+	}
+	c.minCode = dfsCode{d}
+	return c.project(roots[minKey])
+}
+
+func lessRootKey(a, b rootKey) bool {
+	if a.fromLabel != b.fromLabel {
+		return a.fromLabel < b.fromLabel
+	}
+	if a.eLabel != b.eLabel {
+		return a.eLabel < b.eLabel
+	}
+	return a.toLabel < b.toLabel
+}
+
+// patternAsMineGraph converts a pattern code into the arc representation
+// used by the extension helpers.
+func patternAsMineGraph(code dfsCode) *mineGraph {
+	pg := code.toGraph()
+	return makeMineGraphs([]*graph.Graph{pg})[0]
+}
+
+// minChecker incrementally rebuilds the minimal DFS code of the pattern,
+// comparing each step against the candidate code and failing fast on the
+// first mismatch.
+type minChecker struct {
+	g       *mineGraph
+	code    dfsCode // candidate being tested
+	minCode dfsCode // minimal code built so far
+}
+
+func (c *minChecker) project(p projected) bool {
+	rmpath := c.minCode.rightmostPath()
+	maxtoc := c.minCode[rmpath[0]].to
+	minLabel := c.code[0].fromLabel
+
+	// Backward extensions: the most root-ward rightmost-path vertex that
+	// admits one yields the minimal next edge.
+	for i := len(rmpath) - 1; i >= 1; i-- {
+		root := map[graph.Label]projected{}
+		for _, cur := range p {
+			h := buildHistory(cur)
+			if e := getBackward(c.g, h.edges[rmpath[i]], h.edges[rmpath[0]], h); e != nil {
+				root[e.label] = append(root[e.label], &pdfs{gid: 0, edge: e, prev: cur})
+			}
+		}
+		if len(root) == 0 {
+			continue
+		}
+		minE := minLabelKey(root)
+		d := dfs{
+			from: maxtoc, to: c.minCode[rmpath[i]].from,
+			fromLabel: c.labelOf(maxtoc), eLabel: minE, toLabel: c.labelOf(c.minCode[rmpath[i]].from),
+		}
+		idx := len(c.minCode)
+		if c.code[idx] != d {
+			return false
+		}
+		c.minCode = append(c.minCode, d)
+		if len(c.minCode) == len(c.code) {
+			return true
+		}
+		return c.project(root[minE])
+	}
+
+	// Forward extensions: pure forward from the rightmost vertex is
+	// minimal; otherwise walk up the rightmost path.
+	type fkey struct {
+		eLabel, toLabel graph.Label
+	}
+	root := map[fkey]projected{}
+	newFrom := -1
+	for _, cur := range p {
+		h := buildHistory(cur)
+		for _, e := range getForwardPure(c.g, h.edges[rmpath[0]], minLabel, h) {
+			root[fkey{e.label, c.g.vlabel[e.to]}] = append(root[fkey{e.label, c.g.vlabel[e.to]}], &pdfs{gid: 0, edge: e, prev: cur})
+		}
+	}
+	if len(root) > 0 {
+		newFrom = maxtoc
+	} else {
+		for _, i := range rmpath {
+			for _, cur := range p {
+				h := buildHistory(cur)
+				for _, e := range getForwardRmpath(c.g, h.edges[i], minLabel, h) {
+					root[fkey{e.label, c.g.vlabel[e.to]}] = append(root[fkey{e.label, c.g.vlabel[e.to]}], &pdfs{gid: 0, edge: e, prev: cur})
+				}
+			}
+			if len(root) > 0 {
+				newFrom = c.minCode[i].from
+				break
+			}
+		}
+	}
+	if len(root) == 0 {
+		// Pattern fully covered; codes of equal length would have matched
+		// already, so reaching here means the candidate has extra edges
+		// the minimal growth cannot reach — impossible for valid input.
+		return true
+	}
+	keys := make([]fkey, 0, len(root))
+	for k := range root {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].eLabel != keys[j].eLabel {
+			return keys[i].eLabel < keys[j].eLabel
+		}
+		return keys[i].toLabel < keys[j].toLabel
+	})
+	k := keys[0]
+	d := dfs{
+		from: newFrom, to: maxtoc + 1,
+		fromLabel: c.labelOf(newFrom), eLabel: k.eLabel, toLabel: k.toLabel,
+	}
+	idx := len(c.minCode)
+	if c.code[idx] != d {
+		return false
+	}
+	c.minCode = append(c.minCode, d)
+	if len(c.minCode) == len(c.code) {
+		return true
+	}
+	return c.project(root[k])
+}
+
+// labelOf returns the label of minCode discovery vertex v. Discovery ids
+// in minCode are its own numbering, distinct from the candidate code's, so
+// the label must be read off the minCode entries rather than the pattern
+// graph.
+func (c *minChecker) labelOf(v int) graph.Label {
+	for _, d := range c.minCode {
+		if d.from == v {
+			return d.fromLabel
+		}
+		if d.to == v {
+			return d.toLabel
+		}
+	}
+	panic("gspan: vertex not in minCode")
+}
+
+func minLabelKey(m map[graph.Label]projected) graph.Label {
+	first := true
+	var min graph.Label
+	for k := range m {
+		if first || k < min {
+			min, first = k, false
+		}
+	}
+	return min
+}

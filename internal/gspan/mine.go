@@ -1,0 +1,387 @@
+package gspan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Feature is a mined frequent connected subgraph together with its support
+// in the database. The support set doubles as the inverted list IF used by
+// DSPM (Section 5.1.2).
+type Feature struct {
+	// Graph is the pattern.
+	Graph *graph.Graph
+	// Support is the set of database graph indices containing the pattern,
+	// sorted ascending.
+	Support []int
+}
+
+// Freq returns the relative frequency |sup(f)| / |DG|.
+func (f *Feature) Freq(dbSize int) float64 {
+	return float64(len(f.Support)) / float64(dbSize)
+}
+
+// Options configures mining.
+type Options struct {
+	// MinSupport is the absolute minimum support (number of graphs). Use
+	// MinSupportRatio to derive it from a fraction τ of the database.
+	MinSupport int
+	// MaxEdges caps pattern size in edges; 0 means unlimited. The paper's
+	// experiments rely on a size-bounded frequent subgraph set comparable
+	// to gIndex-style indexing features.
+	MaxEdges int
+	// MaxFeatures stops mining after this many patterns; 0 means
+	// unlimited. Patterns are still each canonical and frequent.
+	MaxFeatures int
+}
+
+// MinSupportRatio converts a relative threshold τ ∈ (0,1] into Options'
+// absolute MinSupport for a database of n graphs (at least 1).
+func MinSupportRatio(tau float64, n int) int {
+	s := int(tau * float64(n))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Mine returns all frequent connected subgraphs of db with at least
+// opt.MinSupport supporting graphs, each with its support set.
+func Mine(db []*graph.Graph, opt Options) ([]*Feature, error) {
+	if opt.MinSupport < 1 {
+		return nil, fmt.Errorf("gspan: MinSupport must be >= 1, got %d", opt.MinSupport)
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("gspan: empty database")
+	}
+	m := &miner{db: makeMineGraphs(db), opt: opt}
+	m.run()
+	return m.out, nil
+}
+
+// ---- internal mining structures ----
+
+// arc is a directed view of an undirected edge; each database edge
+// contributes two arcs sharing the same id.
+type arc struct {
+	from, to int
+	label    graph.Label
+	id       int
+}
+
+// mineGraph is a database graph preprocessed for mining.
+type mineGraph struct {
+	vlabel []graph.Label
+	adj    [][]*arc // arcs grouped by source vertex
+	nEdges int
+}
+
+func makeMineGraphs(db []*graph.Graph) []*mineGraph {
+	out := make([]*mineGraph, len(db))
+	for gi, g := range db {
+		mg := &mineGraph{
+			vlabel: make([]graph.Label, g.N()),
+			adj:    make([][]*arc, g.N()),
+			nEdges: g.M(),
+		}
+		for v := 0; v < g.N(); v++ {
+			mg.vlabel[v] = g.VertexLabel(v)
+		}
+		for id, e := range g.Edges() {
+			a := &arc{from: e.U, to: e.V, label: e.Label, id: id}
+			b := &arc{from: e.V, to: e.U, label: e.Label, id: id}
+			mg.adj[e.U] = append(mg.adj[e.U], a)
+			mg.adj[e.V] = append(mg.adj[e.V], b)
+		}
+		out[gi] = mg
+	}
+	return out
+}
+
+// pdfs is one embedding step: the arc matched to the last code edge in
+// graph gid, chained to the embedding of the code prefix.
+type pdfs struct {
+	gid  int
+	edge *arc
+	prev *pdfs
+}
+
+// projected is the embedding list of a DFS code across the database.
+type projected []*pdfs
+
+// supportSet returns the sorted distinct graph ids in p.
+func (p projected) supportSet() []int {
+	seen := map[int]bool{}
+	var ids []int
+	for _, e := range p {
+		if !seen[e.gid] {
+			seen[e.gid] = true
+			ids = append(ids, e.gid)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// history unrolls a pdfs chain into the ordered edge list of one
+// embedding, with fast edge/vertex membership tests.
+type history struct {
+	edges     []*arc
+	hasEdge   map[int]bool
+	hasVertex map[int]bool
+}
+
+func buildHistory(p *pdfs) *history {
+	h := &history{hasEdge: map[int]bool{}, hasVertex: map[int]bool{}}
+	var chain []*pdfs
+	for cur := p; cur != nil; cur = cur.prev {
+		chain = append(chain, cur)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		e := chain[i].edge
+		h.edges = append(h.edges, e)
+		h.hasEdge[e.id] = true
+		h.hasVertex[e.from] = true
+		h.hasVertex[e.to] = true
+	}
+	return h
+}
+
+type miner struct {
+	db   []*mineGraph
+	opt  Options
+	code dfsCode
+	out  []*Feature
+	done bool // MaxFeatures reached
+}
+
+// key types for grouping extensions.
+type fwdKey struct {
+	from    int
+	eLabel  graph.Label
+	toLabel graph.Label
+}
+type bwdKey struct {
+	to     int
+	eLabel graph.Label
+}
+type rootKey struct {
+	fromLabel, eLabel, toLabel graph.Label
+}
+
+func (m *miner) run() {
+	// Seed: all frequent single-edge patterns, canonical orientation
+	// (fromLabel <= toLabel).
+	roots := map[rootKey]projected{}
+	for gid, g := range m.db {
+		for v := range g.adj {
+			for _, a := range g.adj[v] {
+				if g.vlabel[a.from] > g.vlabel[a.to] {
+					continue
+				}
+				k := rootKey{g.vlabel[a.from], a.label, g.vlabel[a.to]}
+				roots[k] = append(roots[k], &pdfs{gid: gid, edge: a})
+			}
+		}
+	}
+	keys := make([]rootKey, 0, len(roots))
+	for k := range roots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.fromLabel != b.fromLabel {
+			return a.fromLabel < b.fromLabel
+		}
+		if a.eLabel != b.eLabel {
+			return a.eLabel < b.eLabel
+		}
+		return a.toLabel < b.toLabel
+	})
+	for _, k := range keys {
+		p := roots[k]
+		if len(p.supportSet()) < m.opt.MinSupport {
+			continue
+		}
+		m.code = dfsCode{{from: 0, to: 1, fromLabel: k.fromLabel, eLabel: k.eLabel, toLabel: k.toLabel}}
+		m.grow(p)
+		m.code = nil
+		if m.done {
+			return
+		}
+	}
+}
+
+// grow reports the current pattern and recursively extends it along the
+// rightmost path (the core gSpan step).
+func (m *miner) grow(p projected) {
+	if m.done {
+		return
+	}
+	if !isMin(m.code) {
+		return
+	}
+	sup := p.supportSet()
+	m.out = append(m.out, &Feature{Graph: m.code.toGraph(), Support: sup})
+	if m.opt.MaxFeatures > 0 && len(m.out) >= m.opt.MaxFeatures {
+		m.done = true
+		return
+	}
+	if m.opt.MaxEdges > 0 && len(m.code) >= m.opt.MaxEdges {
+		return
+	}
+
+	rmpath := m.code.rightmostPath()
+	maxtoc := m.code[rmpath[0]].to
+	minLabel := m.code[0].fromLabel
+
+	fwdRoot := map[fwdKey]projected{}
+	bwdRoot := map[bwdKey]projected{}
+
+	for _, cur := range p {
+		g := m.db[cur.gid]
+		h := buildHistory(cur)
+		// Backward extensions from the rightmost vertex to rightmost-path
+		// vertices, root-most first.
+		for i := len(rmpath) - 1; i >= 1; i-- {
+			if e := getBackward(g, h.edges[rmpath[i]], h.edges[rmpath[0]], h); e != nil {
+				k := bwdKey{to: m.code[rmpath[i]].from, eLabel: e.label}
+				bwdRoot[k] = append(bwdRoot[k], &pdfs{gid: cur.gid, edge: e, prev: cur})
+			}
+		}
+		// Pure forward from the rightmost vertex.
+		for _, e := range getForwardPure(g, h.edges[rmpath[0]], minLabel, h) {
+			k := fwdKey{from: maxtoc, eLabel: e.label, toLabel: g.vlabel[e.to]}
+			fwdRoot[k] = append(fwdRoot[k], &pdfs{gid: cur.gid, edge: e, prev: cur})
+		}
+		// Forward from the other rightmost-path vertices.
+		for _, i := range rmpath {
+			for _, e := range getForwardRmpath(g, h.edges[i], minLabel, h) {
+				k := fwdKey{from: m.code[i].from, eLabel: e.label, toLabel: g.vlabel[e.to]}
+				fwdRoot[k] = append(fwdRoot[k], &pdfs{gid: cur.gid, edge: e, prev: cur})
+			}
+		}
+	}
+
+	// Recurse: backward children first in (to, eLabel) order, then forward
+	// children in (from desc, eLabel, toLabel) order — the DFS-code
+	// lexicographic order.
+	bks := make([]bwdKey, 0, len(bwdRoot))
+	for k := range bwdRoot {
+		bks = append(bks, k)
+	}
+	sort.Slice(bks, func(i, j int) bool {
+		if bks[i].to != bks[j].to {
+			return bks[i].to < bks[j].to
+		}
+		return bks[i].eLabel < bks[j].eLabel
+	})
+	for _, k := range bks {
+		p2 := bwdRoot[k]
+		if len(p2.supportSet()) < m.opt.MinSupport {
+			continue
+		}
+		m.code = append(m.code, dfs{
+			from: maxtoc, to: k.to,
+			fromLabel: m.vertexLabelInCode(maxtoc), eLabel: k.eLabel, toLabel: m.vertexLabelInCode(k.to),
+		})
+		m.grow(p2)
+		m.code = m.code[:len(m.code)-1]
+		if m.done {
+			return
+		}
+	}
+
+	fks := make([]fwdKey, 0, len(fwdRoot))
+	for k := range fwdRoot {
+		fks = append(fks, k)
+	}
+	sort.Slice(fks, func(i, j int) bool {
+		if fks[i].from != fks[j].from {
+			return fks[i].from > fks[j].from
+		}
+		if fks[i].eLabel != fks[j].eLabel {
+			return fks[i].eLabel < fks[j].eLabel
+		}
+		return fks[i].toLabel < fks[j].toLabel
+	})
+	for _, k := range fks {
+		p2 := fwdRoot[k]
+		if len(p2.supportSet()) < m.opt.MinSupport {
+			continue
+		}
+		m.code = append(m.code, dfs{
+			from: k.from, to: maxtoc + 1,
+			fromLabel: m.vertexLabelInCode(k.from), eLabel: k.eLabel, toLabel: k.toLabel,
+		})
+		m.grow(p2)
+		m.code = m.code[:len(m.code)-1]
+		if m.done {
+			return
+		}
+	}
+}
+
+// vertexLabelInCode returns the label of pattern vertex v in the current code.
+func (m *miner) vertexLabelInCode(v int) graph.Label {
+	for _, d := range m.code {
+		if d.from == v {
+			return d.fromLabel
+		}
+		if d.to == v {
+			return d.toLabel
+		}
+	}
+	panic(fmt.Sprintf("gspan: vertex %d not in code", v))
+}
+
+// getBackward returns the unique admissible backward arc from the
+// rightmost vertex (e2.to) to e1.from, or nil. The label condition keeps
+// only extensions that cannot produce a smaller code than the current one.
+func getBackward(g *mineGraph, e1, e2 *arc, h *history) *arc {
+	if e1 == e2 {
+		return nil
+	}
+	for _, e := range g.adj[e2.to] {
+		if h.hasEdge[e.id] {
+			continue
+		}
+		if e.to == e1.from &&
+			(e1.label < e.label || (e1.label == e.label && g.vlabel[e1.to] <= g.vlabel[e2.to])) {
+			return e
+		}
+	}
+	return nil
+}
+
+// getForwardPure returns forward arcs growing a new vertex from the
+// rightmost vertex e.to.
+func getForwardPure(g *mineGraph, e *arc, minLabel graph.Label, h *history) []*arc {
+	var out []*arc
+	for _, e2 := range g.adj[e.to] {
+		if g.vlabel[e2.to] < minLabel || h.hasVertex[e2.to] {
+			continue
+		}
+		out = append(out, e2)
+	}
+	return out
+}
+
+// getForwardRmpath returns forward arcs growing a new vertex from the
+// source side of the rightmost-path edge e.
+func getForwardRmpath(g *mineGraph, e *arc, minLabel graph.Label, h *history) []*arc {
+	var out []*arc
+	toLabel := g.vlabel[e.to]
+	for _, e2 := range g.adj[e.from] {
+		l2 := g.vlabel[e2.to]
+		if e.to == e2.to || l2 < minLabel || h.hasVertex[e2.to] {
+			continue
+		}
+		if e.label < e2.label || (e.label == e2.label && toLabel <= l2) {
+			out = append(out, e2)
+		}
+	}
+	return out
+}

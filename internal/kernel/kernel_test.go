@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(r *rand.Rand, n, extraEdges, labels int) *graph.Graph {
+	g := &graph.Graph{}
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(r.Intn(v), v, graph.Label(r.Intn(labels)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, graph.Label(r.Intn(labels)))
+		}
+	}
+	return g
+}
+
+func kernels() []Kernel {
+	return []Kernel{ShortestPath{}, RandomWalk{}}
+}
+
+func TestKernelsSymmetric(t *testing.T) {
+	for _, k := range kernels() {
+		k := k
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a := randomGraph(r, 3+r.Intn(5), r.Intn(4), 2)
+			b := randomGraph(r, 3+r.Intn(5), r.Intn(4), 2)
+			return math.Abs(k.Compare(a, b)-k.Compare(b, a)) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", k.Name(), err)
+		}
+	}
+}
+
+func TestKernelsNonNegativeSelf(t *testing.T) {
+	for _, k := range kernels() {
+		k := k
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			g := randomGraph(r, 3+r.Intn(5), r.Intn(4), 3)
+			return k.Compare(g, g) >= 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", k.Name(), err)
+		}
+	}
+}
+
+func TestNormalizedSelfIsOne(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, k := range kernels() {
+		for i := 0; i < 20; i++ {
+			g := randomGraph(r, 4+r.Intn(4), r.Intn(3), 2)
+			if v := Normalized(k, g, g); math.Abs(v-1) > 1e-9 {
+				t.Errorf("%s: normalized self similarity %v, want 1", k.Name(), v)
+			}
+		}
+	}
+}
+
+func TestNormalizedInUnitInterval(t *testing.T) {
+	// Cauchy-Schwarz for PSD kernels: normalized value ≤ 1.
+	r := rand.New(rand.NewSource(3))
+	for _, k := range kernels() {
+		for i := 0; i < 30; i++ {
+			a := randomGraph(r, 3+r.Intn(5), r.Intn(3), 2)
+			b := randomGraph(r, 3+r.Intn(5), r.Intn(3), 2)
+			v := Normalized(k, a, b)
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Errorf("%s: normalized value %v outside [0,1]", k.Name(), v)
+			}
+		}
+	}
+}
+
+func TestShortestPathKnown(t *testing.T) {
+	// Path of 3 unlabeled vertices: pairs (0,1,d1),(1,2,d1),(0,2,d2) →
+	// feature map {(0,0,1):2, (0,0,2):1}; self kernel = 4+1 = 5.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	if got := (ShortestPath{}).Compare(g, g); got != 5 {
+		t.Errorf("shortest-path self kernel = %v, want 5", got)
+	}
+}
+
+func TestRandomWalkDisjointLabels(t *testing.T) {
+	// No common vertex labels → empty product graph → kernel 0.
+	a := &graph.Graph{}
+	a.AddVertex(1)
+	b := &graph.Graph{}
+	b.AddVertex(2)
+	if got := (RandomWalk{}).Compare(a, b); got != 0 {
+		t.Errorf("disjoint-label kernel = %v, want 0", got)
+	}
+}
+
+func TestRandomWalkGrowsWithSharedStructure(t *testing.T) {
+	// A triangle shares more walks with a triangle than with a single
+	// edge (same labels everywhere).
+	tri := graph.New(3)
+	tri.MustAddEdge(0, 1, 0)
+	tri.MustAddEdge(1, 2, 0)
+	tri.MustAddEdge(0, 2, 0)
+	edge := graph.New(2)
+	edge.MustAddEdge(0, 1, 0)
+	k := RandomWalk{}
+	if k.Compare(tri, tri) <= k.Compare(tri, edge) {
+		t.Errorf("triangle-triangle walks should exceed triangle-edge walks")
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	if (ShortestPath{}).Name() != "shortest-path" || (RandomWalk{}).Name() != "random-walk" {
+		t.Errorf("kernel names wrong")
+	}
+}

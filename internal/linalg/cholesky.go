@@ -1,0 +1,65 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky is the factorization A = L·Lᵀ of a symmetric positive-definite
+// matrix, reusable across multiple right-hand sides (NDFS solves the same
+// system for every cluster column).
+type Cholesky struct {
+	l *Matrix
+}
+
+// Factor computes the Cholesky decomposition of a, returning an error if
+// a is not numerically positive definite. a is not modified.
+func Factor(a *Matrix) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Factor needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (%g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve returns x with A x = b.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Solve dimension mismatch: %d vs %d", len(b), n)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,56 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFactorSolveMatchesSolveSPD(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 20; iter++ {
+		n := 2 + r.Intn(10)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		a := m.T().Mul(m).AddDiag(1)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		chol, err := Factor(a)
+		if err != nil {
+			t.Fatalf("Factor: %v", err)
+		}
+		x1, err := chol.Solve(b)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		x2, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatalf("SolveSPD: %v", err)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-9 {
+				t.Fatalf("Cholesky solve diverges from SolveSPD at %d", i)
+			}
+		}
+	}
+}
+
+func TestFactorErrors(t *testing.T) {
+	if _, err := Factor(FromRows([][]float64{{0, 0}, {0, 0}})); err == nil {
+		t.Errorf("singular matrix must fail")
+	}
+	if _, err := Factor(FromRows([][]float64{{1, 2, 3}})); err == nil {
+		t.Errorf("non-square must fail")
+	}
+	c, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatalf("Factor identity: %v", err)
+	}
+	if _, err := c.Solve([]float64{1}); err == nil {
+		t.Errorf("wrong rhs length must fail")
+	}
+}

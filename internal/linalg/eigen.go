@@ -1,0 +1,92 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSym computes all eigenvalues and eigenvectors of the symmetric matrix
+// a using the cyclic Jacobi rotation method. Results are sorted by
+// ascending eigenvalue; vectors[i] is the eigenvector for values[i]
+// (unit length). a is not modified.
+//
+// Jacobi is O(n^3) per sweep and robust; the baseline algorithms only need
+// eigen-decompositions of n×n graph Laplacians with n ≤ a few thousand.
+func EigSym(a *Matrix) (values []float64, vectors [][]float64, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: EigSym needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-9*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("linalg: EigSym input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of w.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate rotations into v.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] < values[idx[j]] })
+	sortedVals := make([]float64, n)
+	vectors = make([][]float64, n)
+	for rank, i := range idx {
+		sortedVals[rank] = values[i]
+		vec := make([]float64, n)
+		for k := 0; k < n; k++ {
+			vec[k] = v.At(k, i)
+		}
+		vectors[rank] = vec
+	}
+	return sortedVals, vectors, nil
+}

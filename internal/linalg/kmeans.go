@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters the rows of x into k clusters using Lloyd's algorithm
+// with k-means++ seeding. It returns the cluster assignment per row and
+// the final centroids. rng drives seeding so callers stay deterministic.
+func KMeans(x *Matrix, k, maxIter int, rng *rand.Rand) (assign []int, centroids *Matrix) {
+	n, d := x.Rows, x.Cols
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	centroids = NewMatrix(k, d)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, dd := range dist {
+			total += dd
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, dd := range dist {
+				acc += dd
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), x.Row(pick))
+		for i := range dist {
+			if dd := sqDist(x.Row(i), centroids.Row(c)); dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dd := sqDist(x.Row(i), centroids.Row(c)); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for i := range centroids.Data {
+			centroids.Data[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			cr := centroids.Row(c)
+			for j, v := range x.Row(i) {
+				cr[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random point.
+				copy(centroids.Row(c), x.Row(rng.Intn(n)))
+				continue
+			}
+			cr := centroids.Row(c)
+			inv := 1 / float64(counts[c])
+			for j := range cr {
+				cr[j] *= inv
+			}
+		}
+	}
+	return assign, centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

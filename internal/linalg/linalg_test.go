@@ -1,0 +1,265 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At wrong")
+	}
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Errorf("Set wrong")
+	}
+	tt := m.T()
+	if tt.At(0, 1) != 7 || tt.At(1, 0) != 2 {
+		t.Errorf("transpose wrong")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Col wrong: %v", c)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Errorf("Clone shares storage")
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	v := a.MulVec([]float64{1, 0, -1})
+	if v[0] != -2 || v[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", v)
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	m := Identity(3)
+	if m.At(0, 0) != 1 || m.At(0, 1) != 0 {
+		t.Errorf("Identity wrong")
+	}
+	m.AddDiag(2).Scale(0.5)
+	if m.At(1, 1) != 1.5 {
+		t.Errorf("AddDiag/Scale wrong: %v", m.At(1, 1))
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A = M^T M + I is SPD for any M.
+	r := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(8)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rr.NormFloat64()
+		}
+		a := m.T().Mul(m).AddDiag(1)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rr.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	_ = r
+	// Non-PD input must error.
+	bad := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := SolveSPD(bad, []float64{1, 1}); err == nil {
+		t.Errorf("singular matrix must error")
+	}
+}
+
+func TestEigSymKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatalf("EigSym: %v", err)
+	}
+	if math.Abs(vals[0]-1) > 1e-9 || math.Abs(vals[1]-3) > 1e-9 {
+		t.Fatalf("eigenvalues = %v, want [1 3]", vals)
+	}
+	// Check A v = λ v.
+	for k := 0; k < 2; k++ {
+		av := a.MulVec(vecs[k])
+		for i := range av {
+			if math.Abs(av[i]-vals[k]*vecs[k][i]) > 1e-8 {
+				t.Fatalf("eigenpair %d fails A v = λ v", k)
+			}
+		}
+	}
+}
+
+func TestEigSymRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigSym(a)
+		if err != nil {
+			return false
+		}
+		// Sorted ascending.
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1]-1e-9 {
+				return false
+			}
+		}
+		// Each pair satisfies A v = λ v; vectors unit length.
+		for k := 0; k < n; k++ {
+			av := a.MulVec(vecs[k])
+			for i := range av {
+				if math.Abs(av[i]-vals[k]*vecs[k][i]) > 1e-6 {
+					return false
+				}
+			}
+			if math.Abs(Norm2(vecs[k])-1) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigSymRejectsNonSymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigSym(a); err == nil {
+		t.Errorf("non-symmetric input must error")
+	}
+	b := FromRows([][]float64{{1, 2, 3}})
+	if _, _, err := EigSym(b); err == nil {
+		t.Errorf("non-square input must error")
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Two well-separated blobs.
+	n := 40
+	x := NewMatrix(n, 2)
+	for i := 0; i < n/2; i++ {
+		x.Set(i, 0, rng.NormFloat64()*0.1)
+		x.Set(i, 1, rng.NormFloat64()*0.1)
+	}
+	for i := n / 2; i < n; i++ {
+		x.Set(i, 0, 10+rng.NormFloat64()*0.1)
+		x.Set(i, 1, 10+rng.NormFloat64()*0.1)
+	}
+	assign, centroids := KMeans(x, 2, 50, rng)
+	if centroids.Rows != 2 {
+		t.Fatalf("centroid count wrong")
+	}
+	// All first-half points share a cluster, all second-half the other.
+	for i := 1; i < n/2; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("first blob split across clusters")
+		}
+	}
+	for i := n/2 + 1; i < n; i++ {
+		if assign[i] != assign[n/2] {
+			t.Fatalf("second blob split across clusters")
+		}
+	}
+	if assign[0] == assign[n/2] {
+		t.Fatalf("blobs merged into one cluster")
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := NewMatrix(3, 1) // all-zero identical points
+	assign, _ := KMeans(x, 5, 10, rng)
+	if len(assign) != 3 {
+		t.Fatalf("assignment length wrong")
+	}
+}
+
+func TestLassoRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, p := 60, 10
+	x := NewMatrix(n, p)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	// y depends only on features 2 and 5.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = 3*x.At(i, 2) - 2*x.At(i, 5)
+	}
+	w := Lasso(x, y, 0.05, 500, 1e-8)
+	if math.Abs(w[2]-3) > 0.3 || math.Abs(w[5]+2) > 0.3 {
+		t.Errorf("lasso missed true coefficients: %v", w)
+	}
+	for j := range w {
+		if j != 2 && j != 5 && math.Abs(w[j]) > 0.2 {
+			t.Errorf("lasso gave spurious weight to feature %d: %v", j, w[j])
+		}
+	}
+}
+
+func TestLassoStrongPenaltyZeroes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, p := 30, 5
+	x := NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = x.At(i, 0)
+	}
+	w := Lasso(x, y, 1e6, 100, 1e-8)
+	for j := range w {
+		if w[j] != 0 {
+			t.Errorf("huge lambda should zero all weights, got %v", w)
+		}
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Errorf("Dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Errorf("Norm2 wrong")
+	}
+}

@@ -1,0 +1,80 @@
+package mcs
+
+import "repro/internal/graph"
+
+// Metric selects one of the paper's two MCS-based dissimilarities.
+type Metric int
+
+const (
+	// Delta1 is Eq. (1): normalized by the larger graph (Bunke–Shearer).
+	Delta1 Metric = iota
+	// Delta2 is Eq. (2): normalized by the average graph size; the
+	// experiments in the paper use this metric.
+	Delta2
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Delta1:
+		return "delta1"
+	case Delta2:
+		return "delta2"
+	}
+	return "unknown"
+}
+
+// FromMCS computes the dissimilarity given |E(mcs)| and the two edge
+// counts, without running a search. Both metrics are in [0,1]; two empty
+// graphs are defined to have dissimilarity 0.
+func (m Metric) FromMCS(mcsEdges, e1, e2 int) float64 {
+	switch m {
+	case Delta1:
+		mx := e1
+		if e2 > mx {
+			mx = e2
+		}
+		if mx == 0 {
+			return 0
+		}
+		return 1 - float64(mcsEdges)/float64(mx)
+	case Delta2:
+		if e1+e2 == 0 {
+			return 0
+		}
+		return 1 - 2*float64(mcsEdges)/float64(e1+e2)
+	}
+	panic("mcs: unknown metric")
+}
+
+// Dissimilarity computes δ(a, b) with an exact MCS search.
+func (m Metric) Dissimilarity(a, b *graph.Graph) float64 {
+	return m.DissimilarityBudget(a, b, Options{})
+}
+
+// DissimilarityBudget computes δ(a, b) with the given search options. With
+// a budget the result upper-bounds the true dissimilarity (the matching
+// found lower-bounds |E(mcs)|).
+func (m Metric) DissimilarityBudget(a, b *graph.Graph, opt Options) float64 {
+	r := Compute(a, b, opt)
+	return m.FromMCS(r.Edges, a.M(), b.M())
+}
+
+// Matrix computes the full pairwise dissimilarity matrix for a graph
+// database, exploiting symmetry (δ is symmetric, Section 2). The diagonal
+// is zero. opt bounds each individual MCS search.
+func (m Metric) Matrix(db []*graph.Graph, opt Options) [][]float64 {
+	n := len(db)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m.DissimilarityBudget(db[i], db[j], opt)
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d
+}

@@ -1,0 +1,311 @@
+// Package mcs computes the maximum common subgraph (MCS) of two undirected
+// labeled graphs and the two MCS-based graph dissimilarities used in the
+// paper:
+//
+//	δ1(q,g) = 1 - |E(mcs)| / max(|E(q)|, |E(g)|)     (Bunke–Shearer, Eq. 1)
+//	δ2(q,g) = 1 - 2|E(mcs)| / (|E(q)| + |E(g)|)      (Zhu et al., Eq. 2)
+//
+// Following the paper's usage (Lemma 4.1 freely induces common subgraphs
+// from arbitrary edge subsets), the MCS is the maximum common *edge*
+// subgraph: a label-preserving injective partial vertex mapping maximizing
+// the number of matched edges; connectivity is not required.
+//
+// The solver is a McGregor-style branch and bound over vertex
+// correspondences with an edge-capacity upper bound. An optional search
+// budget turns it into an anytime algorithm that returns the best matching
+// found so far, which is how the exact-query baseline stays tractable on
+// the largest experiments.
+package mcs
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options configures the MCS search.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound tree nodes explored.
+	// 0 means unlimited (fully exact). When the budget is exhausted the
+	// best matching found so far is returned.
+	MaxNodes int64
+}
+
+// Result reports an MCS computation.
+type Result struct {
+	// Edges is the number of edges in the common subgraph found.
+	Edges int
+	// Mapping maps vertices of the first (smaller) argument graph to
+	// vertices of the second; -1 marks unmapped vertices.
+	Mapping []int
+	// Exact records whether the search completed within its budget, i.e.
+	// Edges is the true |E(mcs)|.
+	Exact bool
+	// Nodes is the number of search-tree nodes explored.
+	Nodes int64
+}
+
+// Size returns |E(mcs(a,b))| with an unbounded exact search.
+func Size(a, b *graph.Graph) int {
+	r := Compute(a, b, Options{})
+	return r.Edges
+}
+
+// Compute runs the branch-and-bound MCS search between a and b.
+func Compute(a, b *graph.Graph, opt Options) Result {
+	// Search from the smaller graph (fewer vertices) for a shallower tree.
+	swapped := false
+	if a.N() > b.N() {
+		a, b = b, a
+		swapped = true
+	}
+	s := &solver{g1: a, g2: b, opt: opt}
+	s.run()
+	res := Result{Edges: s.best, Exact: !s.budgetHit, Nodes: s.nodes}
+	if swapped {
+		// Invert the mapping so it is first-arg → second-arg.
+		inv := make([]int, b.N())
+		for i := range inv {
+			inv[i] = -1
+		}
+		for v1, v2 := range s.bestMap {
+			if v2 >= 0 {
+				inv[v2] = v1
+			}
+		}
+		res.Mapping = inv
+	} else {
+		res.Mapping = append([]int(nil), s.bestMap...)
+	}
+	return res
+}
+
+type solver struct {
+	g1, g2 *graph.Graph
+	opt    Options
+
+	order     []int // g1 vertices in processing order (degree desc)
+	pos       []int // g1 vertex -> position in order
+	core      []int // g1 vertex -> g2 vertex or -1
+	used      []bool
+	cur       int // edges matched so far
+	best      int
+	bestMap   []int
+	nodes     int64
+	budgetHit bool
+
+	// Label-type-aware bound state. An edge type is the triple
+	// (min(l_u,l_v), l_e, max(l_u,l_v)). remain1[d] lists, per type, how
+	// many g1 edges with at least one endpoint at order position >= d are
+	// still matchable at depth d (precomputed). avail2 counts, per type,
+	// the g2 edges that could still be matched: an edge leaves the pool
+	// the moment its second endpoint becomes used (it was either matched,
+	// already counted in cur, or is permanently dead).
+	types   map[typeKey]int // type -> dense id
+	remain1 [][]int32       // remain1[d][typeID]
+	avail2  []int32         // avail2[typeID], maintained incrementally
+}
+
+// typeKey identifies an edge label type.
+type typeKey struct {
+	a, e, b graph.Label
+}
+
+func edgeType(g *graph.Graph, e graph.Edge) typeKey {
+	la, lb := g.VertexLabel(e.U), g.VertexLabel(e.V)
+	if la > lb {
+		la, lb = lb, la
+	}
+	return typeKey{la, e.Label, lb}
+}
+
+func (s *solver) run() {
+	n1 := s.g1.N()
+	// Connectivity-aware order: start from the highest-degree vertex and
+	// repeatedly append the unplaced vertex with the most edges into the
+	// placed set (ties by degree). Early placements then carry immediate
+	// edge gains, which makes the branch-and-bound pruning effective.
+	s.order = make([]int, 0, n1)
+	placed := make([]bool, n1)
+	for len(s.order) < n1 {
+		best, bestConn, bestDeg := -1, -1, -1
+		for v := 0; v < n1; v++ {
+			if placed[v] {
+				continue
+			}
+			conn := 0
+			for _, h := range s.g1.Neighbors(v) {
+				if placed[h.To] {
+					conn++
+				}
+			}
+			if conn > bestConn || (conn == bestConn && s.g1.Degree(v) > bestDeg) {
+				best, bestConn, bestDeg = v, conn, s.g1.Degree(v)
+			}
+		}
+		placed[best] = true
+		s.order = append(s.order, best)
+	}
+	s.pos = make([]int, n1)
+	for d, v := range s.order {
+		s.pos[v] = d
+	}
+	s.core = make([]int, n1)
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	s.used = make([]bool, s.g2.N())
+	s.bestMap = make([]int, n1)
+	for i := range s.bestMap {
+		s.bestMap[i] = -1
+	}
+
+	// Dense type ids over both graphs' edge types.
+	s.types = map[typeKey]int{}
+	for _, e := range s.g1.Edges() {
+		k := edgeType(s.g1, e)
+		if _, ok := s.types[k]; !ok {
+			s.types[k] = len(s.types)
+		}
+	}
+	for _, e := range s.g2.Edges() {
+		k := edgeType(s.g2, e)
+		if _, ok := s.types[k]; !ok {
+			s.types[k] = len(s.types)
+		}
+	}
+	nt := len(s.types)
+
+	// remain1[d][t]: g1 edges of type t still matchable at depth d.
+	s.remain1 = make([][]int32, n1+1)
+	for d := 0; d <= n1; d++ {
+		s.remain1[d] = make([]int32, nt)
+	}
+	for _, e := range s.g1.Edges() {
+		t := s.types[edgeType(s.g1, e)]
+		hi := s.pos[e.U]
+		if s.pos[e.V] > hi {
+			hi = s.pos[e.V]
+		}
+		// Matchable while depth <= hi.
+		for d := 0; d <= hi; d++ {
+			s.remain1[d][t]++
+		}
+	}
+	s.avail2 = make([]int32, nt)
+	for _, e := range s.g2.Edges() {
+		s.avail2[s.types[edgeType(s.g2, e)]]++
+	}
+
+	s.search(0)
+}
+
+// upperBound returns cur plus the per-type minimum of still-matchable g1
+// edges and still-available g2 edges — a valid bound because every future
+// match consumes one edge of the same type on each side.
+func (s *solver) upperBound(depth int) int {
+	ub := s.cur
+	r := s.remain1[depth]
+	for t, c := range r {
+		if c == 0 {
+			continue
+		}
+		a := s.avail2[t]
+		if a < c {
+			ub += int(a)
+		} else {
+			ub += int(c)
+		}
+	}
+	return ub
+}
+
+// occupy marks v2 used and retires every g2 edge whose second endpoint
+// just became used from the availability pool. It returns the retired
+// type ids for undo.
+func (s *solver) occupy(v2 int) []int {
+	s.used[v2] = true
+	var retired []int
+	for _, h := range s.g2.Neighbors(v2) {
+		if s.used[h.To] {
+			la, lb := s.g2.VertexLabel(v2), s.g2.VertexLabel(h.To)
+			if la > lb {
+				la, lb = lb, la
+			}
+			t := s.types[typeKey{la, h.Label, lb}]
+			s.avail2[t]--
+			retired = append(retired, t)
+		}
+	}
+	return retired
+}
+
+func (s *solver) release(v2 int, retired []int) {
+	for _, t := range retired {
+		s.avail2[t]++
+	}
+	s.used[v2] = false
+}
+
+func (s *solver) search(depth int) bool {
+	s.nodes++
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		s.budgetHit = true
+		return true // abort
+	}
+	if s.cur > s.best {
+		s.best = s.cur
+		copy(s.bestMap, s.core)
+	}
+	if depth == len(s.order) {
+		return false
+	}
+	// Per-label-type capacity bound.
+	if s.upperBound(depth) <= s.best {
+		return false
+	}
+	v1 := s.order[depth]
+	l1 := s.g1.VertexLabel(v1)
+
+	// Try mapping v1 to each compatible unused g2 vertex, preferring
+	// candidates that immediately match more edges.
+	type cand struct{ v2, gain int }
+	var cands []cand
+	for v2 := 0; v2 < s.g2.N(); v2++ {
+		if s.used[v2] || s.g2.VertexLabel(v2) != l1 {
+			continue
+		}
+		cands = append(cands, cand{v2, s.gain(v1, v2)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+
+	for _, c := range cands {
+		s.core[v1] = c.v2
+		retired := s.occupy(c.v2)
+		s.cur += c.gain
+		if s.search(depth + 1) {
+			return true
+		}
+		s.cur -= c.gain
+		s.release(c.v2, retired)
+		s.core[v1] = -1
+	}
+	// Also try leaving v1 unmapped.
+	return s.search(depth + 1)
+}
+
+// gain counts the edges from v1 to already-mapped g1 vertices that are
+// preserved (same edge label) when v1 is mapped to v2.
+func (s *solver) gain(v1, v2 int) int {
+	g := 0
+	for _, h := range s.g1.Neighbors(v1) {
+		m := s.core[h.To]
+		if m < 0 {
+			continue
+		}
+		if l, ok := s.g2.EdgeLabel(v2, m); ok && l == h.Label {
+			g++
+		}
+	}
+	return g
+}

@@ -1,0 +1,223 @@
+package mcs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(r *rand.Rand, n, extraEdges, labels int) *graph.Graph {
+	g := &graph.Graph{}
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(r.Intn(v), v, graph.Label(r.Intn(labels)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, graph.Label(r.Intn(labels)))
+		}
+	}
+	return g
+}
+
+// bruteMCS exhaustively searches every partial injective mapping of a's
+// vertices into b's and returns the max matched edge count. Exponential;
+// keep inputs tiny.
+func bruteMCS(a, b *graph.Graph) int {
+	best := 0
+	m := make([]int, a.N())
+	used := make([]bool, b.N())
+	for i := range m {
+		m[i] = -1
+	}
+	var count func() int
+	count = func() int {
+		c := 0
+		for _, e := range a.Edges() {
+			if m[e.U] >= 0 && m[e.V] >= 0 {
+				if l, ok := b.EdgeLabel(m[e.U], m[e.V]); ok && l == e.Label {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	var rec func(v int)
+	rec = func(v int) {
+		if v == a.N() {
+			if c := count(); c > best {
+				best = c
+			}
+			return
+		}
+		rec(v + 1) // leave unmapped
+		for w := 0; w < b.N(); w++ {
+			if used[w] || b.VertexLabel(w) != a.VertexLabel(v) {
+				continue
+			}
+			m[v] = w
+			used[w] = true
+			rec(v + 1)
+			used[w] = false
+			m[v] = -1
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestSizeAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 2+r.Intn(4), r.Intn(3), 2)
+		b := randomGraph(r, 2+r.Intn(4), r.Intn(3), 2)
+		return Size(a, b) == bruteMCS(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfMCSIsWholeGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 3+r.Intn(5), r.Intn(4), 3)
+		return Size(g, g) == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgraphMCSIsSubgraphSize(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(4), r.Intn(4), 3)
+		var vs []int
+		for v := 0; v < g.N(); v++ {
+			if r.Intn(2) == 0 {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) < 2 {
+			vs = []int{0, 1}
+		}
+		sub, _ := g.InducedSubgraph(vs)
+		return Size(sub, g) == sub.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingIsValidWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 2+r.Intn(4), r.Intn(4), 2)
+		b := randomGraph(r, 2+r.Intn(4), r.Intn(4), 2)
+		res := Compute(a, b, Options{})
+		// Count edges realized by the mapping; must equal res.Edges.
+		seen := map[int]bool{}
+		for _, w := range res.Mapping {
+			if w >= 0 {
+				if seen[w] {
+					return false // not injective
+				}
+				seen[w] = true
+			}
+		}
+		c := 0
+		for _, e := range a.Edges() {
+			mu, mv := res.Mapping[e.U], res.Mapping[e.V]
+			if mu >= 0 && mv >= 0 {
+				if l, ok := b.EdgeLabel(mu, mv); ok && l == e.Label {
+					c++
+				}
+			}
+		}
+		return c == res.Edges && res.Exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetedSearchLowerBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		a := randomGraph(r, 8, 5, 2)
+		b := randomGraph(r, 8, 5, 2)
+		exact := Compute(a, b, Options{})
+		budgeted := Compute(a, b, Options{MaxNodes: 50})
+		if budgeted.Edges > exact.Edges {
+			t.Fatalf("budgeted result exceeds exact: %d > %d", budgeted.Edges, exact.Edges)
+		}
+	}
+}
+
+func TestDissimilarityProperties(t *testing.T) {
+	for _, m := range []Metric{Delta1, Delta2} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a := randomGraph(r, 2+r.Intn(4), r.Intn(3), 2)
+			b := randomGraph(r, 2+r.Intn(4), r.Intn(3), 2)
+			dab := m.Dissimilarity(a, b)
+			dba := m.Dissimilarity(b, a)
+			daa := m.Dissimilarity(a, a)
+			return dab >= 0 && dab <= 1 &&
+				math.Abs(dab-dba) < 1e-12 &&
+				daa == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestDissimilarityFromMCS(t *testing.T) {
+	// |E(q)|=4, |E(g)|=6, |E(mcs)|=3.
+	if got, want := Delta1.FromMCS(3, 4, 6), 1-3.0/6; got != want {
+		t.Errorf("delta1 = %v, want %v", got, want)
+	}
+	if got, want := Delta2.FromMCS(3, 4, 6), 1-6.0/10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("delta2 = %v, want %v", got, want)
+	}
+	// Empty graphs.
+	if Delta1.FromMCS(0, 0, 0) != 0 || Delta2.FromMCS(0, 0, 0) != 0 {
+		t.Errorf("empty graphs should have dissimilarity 0")
+	}
+}
+
+func TestMatrixSymmetricZeroDiagonal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	db := make([]*graph.Graph, 6)
+	for i := range db {
+		db[i] = randomGraph(r, 4, 2, 2)
+	}
+	mat := Delta2.Matrix(db, Options{})
+	for i := range mat {
+		if mat[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v, want 0", i, i, mat[i][i])
+		}
+		for j := range mat {
+			if mat[i][j] != mat[j][i] {
+				t.Errorf("matrix not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Delta1.String() != "delta1" || Delta2.String() != "delta2" {
+		t.Errorf("Metric.String wrong")
+	}
+	if Metric(99).String() != "unknown" {
+		t.Errorf("unknown metric string wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package mcs
+
+// Property-based tests for the paper's Section 4 theory: Lemma 4.1 and
+// Theorems 4.1/4.2 bound how the MCS dissimilarity of a query changes
+// when the query is replaced by one of its subgraphs. These are exact
+// statements about exact MCS values, so the tests run unbounded searches
+// on small random graphs.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// subgraphOf returns a random subgraph of g: an induced subgraph on a
+// random non-empty vertex subset with a random subset of its edges
+// removed... edges must remain: we keep the induced edges (edge-subgraphs
+// are also valid; vertex-induced is a special case of q' ⊆ q).
+func subgraphOf(r *rand.Rand, g *graph.Graph) *graph.Graph {
+	var vs []int
+	for v := 0; v < g.N(); v++ {
+		if r.Intn(3) > 0 { // keep ~2/3 of vertices
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) == 0 {
+		vs = []int{0}
+	}
+	sub, _ := g.InducedSubgraph(vs)
+	// Drop a few edges to exercise non-induced subgraphs too.
+	if sub.M() > 1 && r.Intn(2) == 0 {
+		keep := sub.Edges()[:sub.M()-1]
+		h := &graph.Graph{}
+		for v := 0; v < sub.N(); v++ {
+			h.AddVertex(sub.VertexLabel(v))
+		}
+		for _, e := range keep {
+			h.MustAddEdge(e.U, e.V, e.Label)
+		}
+		return h
+	}
+	return sub
+}
+
+func theoryTriple(seed int64) (q, qsub, g *graph.Graph) {
+	r := rand.New(rand.NewSource(seed))
+	q = randomGraph(r, 3+r.Intn(4), r.Intn(3), 2)
+	qsub = subgraphOf(r, q)
+	g = randomGraph(r, 3+r.Intn(4), r.Intn(3), 2)
+	return q, qsub, g
+}
+
+// TestLemma41 checks 0 ≤ |E(mcs(q,g))| − |E(mcs(q',g))| ≤ |E(q)| − |E(q')|
+// for q' ⊆ q.
+func TestLemma41(t *testing.T) {
+	f := func(seed int64) bool {
+		q, qsub, g := theoryTriple(seed)
+		xi := Size(q, g) - Size(qsub, g)
+		return xi >= 0 && xi <= q.M()-qsub.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem41 checks α − ε1l ≤ δ1(q',g) ≤ α + ε1r with
+// ε1l = (|E(q)|−min(|E(q')|,|E(g)|))/min(|E(q')|,|E(g)|) · (1−α) and
+// ε1r = (|E(q)|−|E(q')|)/|E(g)|.
+func TestTheorem41(t *testing.T) {
+	f := func(seed int64) bool {
+		q, qsub, g := theoryTriple(seed)
+		if qsub.M() == 0 || g.M() == 0 {
+			return true // bounds assume non-degenerate sizes
+		}
+		alpha := Delta1.Dissimilarity(q, g)
+		got := Delta1.Dissimilarity(qsub, g)
+		minQG := qsub.M()
+		if g.M() < minQG {
+			minQG = g.M()
+		}
+		eps1l := float64(q.M()-minQG) / float64(minQG) * (1 - alpha)
+		eps1r := float64(q.M()-qsub.M()) / float64(g.M())
+		const tol = 1e-9
+		return got >= alpha-eps1l-tol && got <= alpha+eps1r+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem42 checks α − (1−α)ε2 ≤ δ2(q',g) ≤ α + (1+α)ε2 with
+// ε2 = (|E(q)|−|E(q')|)/(|E(q')|+|E(g)|).
+func TestTheorem42(t *testing.T) {
+	f := func(seed int64) bool {
+		q, qsub, g := theoryTriple(seed)
+		if qsub.M()+g.M() == 0 {
+			return true
+		}
+		alpha := Delta2.Dissimilarity(q, g)
+		got := Delta2.Dissimilarity(qsub, g)
+		eps2 := float64(q.M()-qsub.M()) / float64(qsub.M()+g.M())
+		const tol = 1e-9
+		return got >= alpha-(1-alpha)*eps2-tol && got <= alpha+(1+alpha)*eps2+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package topk
+
+// Quality measures of Section 6 (Measures). A is the approximate top-k id
+// list, exact is the full ground-truth ranking of the database (its first
+// k entries are the exact top-k list T).
+
+// Precision is p(k) = |A ∩ T| / k.
+func Precision(approx []int, exact Ranking, k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	t := exact.TopK(k)
+	inT := make(map[int]bool, k)
+	for _, id := range t {
+		inT[id] = true
+	}
+	hits := 0
+	for i, id := range approx {
+		if i >= k {
+			break
+		}
+		if inT[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// KendallTau is the top-k Kendall's tau of Fagin et al. [40] as used in
+// the paper:
+//
+//	τ(k) = Σ_{r_i ∈ A} |A_{i+1} ∩ T_{t(r_i)+1}| / (k(2n−k−1))
+//
+// where t(r_i) is the true rank of r_i in the full exact ranking, A_{i+1}
+// is the suffix of A after position i, and T_{t+1} the suffix of the exact
+// ranking after rank t — i.e. the number of concordant pairs within A,
+// normalized by k(2n−k−1).
+func KendallTau(approx []int, exact Ranking, k int) float64 {
+	n := len(exact)
+	if k > len(approx) {
+		k = len(approx)
+	}
+	if k == 0 || n == 0 {
+		return 0
+	}
+	denom := float64(k) * float64(2*n-k-1)
+	if denom == 0 {
+		return 0
+	}
+	rank := make(map[int]int, n)
+	for i, it := range exact {
+		rank[it.ID] = i + 1
+	}
+	concordant := 0
+	for i := 0; i < k; i++ {
+		ti := rank[approx[i]]
+		for j := i + 1; j < k; j++ {
+			if rank[approx[j]] > ti {
+				concordant++
+			}
+		}
+	}
+	return float64(concordant) / denom
+}
+
+// InverseRankDistance is the inverse footrule distance of the paper:
+//
+//	γ_inv(k) = k / Σ_{r_i ∈ A} |i − t(r_i)|
+//
+// larger is better; a perfect ranking (zero footrule distance) returns k,
+// keeping the measure finite while preserving ordering.
+func InverseRankDistance(approx []int, exact Ranking, k int) float64 {
+	if k > len(approx) {
+		k = len(approx)
+	}
+	if k == 0 {
+		return 0
+	}
+	rank := make(map[int]int, len(exact))
+	for i, it := range exact {
+		rank[it.ID] = i + 1
+	}
+	sum := 0
+	for i := 0; i < k; i++ {
+		t, ok := rank[approx[i]]
+		if !ok {
+			t = len(exact) + 1
+		}
+		d := (i + 1) - t
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	if sum == 0 {
+		return float64(k)
+	}
+	return float64(k) / float64(sum)
+}

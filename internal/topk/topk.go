@@ -1,0 +1,96 @@
+// Package topk implements the top-k similarity query engines the paper
+// evaluates (Section 6): the exact engine ranking by MCS-based graph
+// dissimilarity, the mapped-space engine ranking by normalized Euclidean
+// distance over binary feature vectors (a sequential scan, exactly as the
+// paper does for all algorithms), and the fingerprint/Tanimoto benchmark
+// engine.
+package topk
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mcs"
+	"repro/internal/vecspace"
+)
+
+// Item is one ranked result: the database index and its score (smaller is
+// more similar for dissimilarity engines, larger for Tanimoto — Rank
+// normalizes direction via the less function used to sort).
+type Item struct {
+	ID    int
+	Score float64
+}
+
+// Ranking is a full similarity ranking of the database for one query,
+// most similar first. Ties are broken by ascending database id so that
+// every engine is deterministic.
+type Ranking []Item
+
+// TopK returns the first k ids of the ranking.
+func (r Ranking) TopK(k int) []int {
+	if k > len(r) {
+		k = len(r)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = r[i].ID
+	}
+	return out
+}
+
+// RankOf returns the 1-based rank of id, or len(r)+1 if absent.
+func (r Ranking) RankOf(id int) int {
+	for i, it := range r {
+		if it.ID == id {
+			return i + 1
+		}
+	}
+	return len(r) + 1
+}
+
+// sortItems orders items ascending by score (ties by id).
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			return items[i].Score < items[j].Score
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// Exact ranks the database for query q by the MCS dissimilarity metric —
+// the ground-truth engine. opt bounds each MCS search (Options{} = fully
+// exact).
+func Exact(db []*graph.Graph, q *graph.Graph, metric mcs.Metric, opt mcs.Options) Ranking {
+	items := make([]Item, len(db))
+	for i, g := range db {
+		items[i] = Item{ID: i, Score: metric.DissimilarityBudget(q, g, opt)}
+	}
+	sortItems(items)
+	return items
+}
+
+// Mapped ranks the database by normalized Euclidean distance between
+// binary feature vectors — the paper's online query path: map the query
+// with VF2 feature matching, then scan the vector database.
+func Mapped(dbVectors []*vecspace.BitVector, qv *vecspace.BitVector) Ranking {
+	items := make([]Item, len(dbVectors))
+	for i, v := range dbVectors {
+		items[i] = Item{ID: i, Score: qv.Distance(v)}
+	}
+	sortItems(items)
+	return items
+}
+
+// Tanimoto ranks the database by descending Tanimoto similarity of
+// fingerprints — the PubChem-style benchmark engine. Scores are stored as
+// 1−similarity so that Ranking remains ascending-is-better.
+func Tanimoto(dbFP []*vecspace.BitVector, qFP *vecspace.BitVector, sim func(a, b *vecspace.BitVector) float64) Ranking {
+	items := make([]Item, len(dbFP))
+	for i, v := range dbFP {
+		items[i] = Item{ID: i, Score: 1 - sim(qFP, v)}
+	}
+	sortItems(items)
+	return items
+}

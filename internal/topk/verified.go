@@ -1,0 +1,44 @@
+package topk
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mcs"
+	"repro/internal/vecspace"
+)
+
+// Verified answers a top-k query with a filter-and-verify hybrid: retrieve
+// factor·k candidates by mapped-space distance, then re-rank just those
+// candidates with the exact (budgeted) MCS dissimilarity. The paper's
+// DS-preserved mapping is designed to make verification unnecessary; this
+// engine exposes the accuracy/latency dial between the pure mapped scan
+// and full exact search, and is used by the extension experiment in
+// EXPERIMENTS.md.
+func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph, qv *vecspace.BitVector,
+	k, factor int, metric mcs.Metric, opt mcs.Options) Ranking {
+	if factor < 1 {
+		factor = 1
+	}
+	cands := Mapped(dbVectors, qv).TopK(k * factor)
+	items := make([]Item, len(cands))
+	for i, id := range cands {
+		items[i] = Item{ID: id, Score: metric.DissimilarityBudget(q, db[id], opt)}
+	}
+	sortItems(items)
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// Similarity ranks the database by any symmetric similarity function
+// (larger = more similar) — the adapter used for graph-kernel and
+// GED-prototype engines. Scores are stored negated so Ranking stays
+// ascending-is-better.
+func Similarity(n int, sim func(i int) float64) Ranking {
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{ID: i, Score: -sim(i)}
+	}
+	sortItems(items)
+	return items
+}

@@ -1,0 +1,54 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mcs"
+	"repro/internal/vecspace"
+)
+
+func TestVerifiedAtLeastAsGoodAsMapped(t *testing.T) {
+	// With factor >= n/k the verified engine degenerates to exact search,
+	// so its precision is 1; with factor 1 it equals the mapped engine.
+	db := dataset.Chemical(dataset.ChemConfig{N: 15, MinVertices: 6, MaxVertices: 10, Seed: 3})
+	q := db[4]
+	metric := mcs.Delta2
+	opt := mcs.Options{MaxNodes: 5000}
+	exact := Exact(db, q, metric, opt)
+
+	// Degenerate vectors (all identical) make the mapped engine
+	// uninformative; verification must still recover the exact top-k.
+	vecs := make([]*vecspace.BitVector, len(db))
+	for i := range vecs {
+		vecs[i] = vecspace.NewBitVector(4)
+	}
+	qv := vecspace.NewBitVector(4)
+
+	const k = 3
+	full := Verified(db, vecs, q, qv, k, len(db), metric, opt)
+	if got := Precision(full.TopK(k), exact, k); got != 1 {
+		t.Errorf("fully verified precision = %v, want 1", got)
+	}
+	if len(full) != k {
+		t.Errorf("verified returned %d items, want %d", len(full), k)
+	}
+
+	one := Verified(db, vecs, q, qv, k, 1, metric, opt)
+	if len(one) != k {
+		t.Errorf("factor-1 verified returned %d items", len(one))
+	}
+	// factor < 1 clamps to 1 rather than panicking.
+	clamped := Verified(db, vecs, q, qv, k, 0, metric, opt)
+	if len(clamped) != k {
+		t.Errorf("factor-0 verified returned %d items", len(clamped))
+	}
+}
+
+func TestSimilarityRanking(t *testing.T) {
+	r := Similarity(4, func(i int) float64 { return float64(i) })
+	// Highest similarity (i=3) first.
+	if r[0].ID != 3 || r[3].ID != 0 {
+		t.Errorf("similarity ranking wrong: %v", r)
+	}
+}

@@ -1,0 +1,77 @@
+package vecspace
+
+// Property test for Theorem 4.3: if d(y_q, y_g) = β in the feature space
+// F, then for any subgraph q' ⊆ q, β − sqrt(t/p) ≤ d(y_q', y_g) ≤
+// β + sqrt(t/p) where t = |F(q)| − |F(q')| and p = |F|. The proof relies
+// on F(q') ⊆ F(q), which holds because feature containment is monotone
+// under subgraphs — exercised here with real VF2 containment tests.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomGraphT(r *rand.Rand, n, extraEdges, labels int) *graph.Graph {
+	g := &graph.Graph{}
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(r.Intn(v), v, graph.Label(r.Intn(labels)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, graph.Label(r.Intn(labels)))
+		}
+	}
+	return g
+}
+
+func TestTheorem43(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// A feature set of random small patterns.
+		p := 5 + r.Intn(15)
+		features := make([]*graph.Graph, p)
+		for i := range features {
+			features[i] = randomGraphT(r, 2+r.Intn(3), r.Intn(2), 2)
+		}
+		m := NewMapper(features)
+
+		q := randomGraphT(r, 5+r.Intn(4), r.Intn(4), 2)
+		g := randomGraphT(r, 5+r.Intn(4), r.Intn(4), 2)
+		// q' = induced subgraph of q.
+		var vs []int
+		for v := 0; v < q.N(); v++ {
+			if r.Intn(3) > 0 {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			vs = []int{0}
+		}
+		qsub, _ := q.InducedSubgraph(vs)
+
+		yq, yg, yqs := m.Map(q), m.Map(g), m.Map(qsub)
+		// Monotonicity: F(q') ⊆ F(q).
+		for r2 := 0; r2 < p; r2++ {
+			if yqs.Get(r2) && !yq.Get(r2) {
+				return false
+			}
+		}
+		beta := yq.Distance(yg)
+		got := yqs.Distance(yg)
+		tt := yq.Ones() - yqs.Ones()
+		bound := math.Sqrt(float64(tt) / float64(p))
+		const tol = 1e-12
+		return got >= beta-bound-tol && got <= beta+bound+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
