@@ -8,9 +8,11 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/graphdim"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -423,5 +425,56 @@ func BenchmarkFingerprint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g := ds.DB[i%len(ds.DB)]
 		sinkString = fmt.Sprint(g.M())
+	}
+}
+
+// ---- Concurrency benches ----
+
+// BenchmarkBuildWorkers measures the end-to-end offline build
+// (mining + MCS matrix + DSPM + vector materialization) on the synthetic
+// dataset at Workers: 1 versus Workers: NumCPU. On a multi-core machine
+// the parallel build should approach a linear speedup: the run time is
+// dominated by the O(n²) independent MCS searches.
+func BenchmarkBuildWorkers(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 60, AvgEdges: 12, Labels: 8, Seed: 5})
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := graphdim.Build(db, graphdim.Options{
+					Dimensions: 30,
+					Tau:        0.1,
+					MCSBudget:  2000,
+					Workers:    workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKBatchWorkers measures the online batch path at 1 versus
+// NumCPU workers fanning 32 queries over one shared index.
+func BenchmarkTopKBatchWorkers(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 60, AvgEdges: 12, Labels: 8, Seed: 5})
+	queries := db[:32]
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		idx, err := graphdim.Build(db, graphdim.Options{
+			Dimensions: 30,
+			Tau:        0.1,
+			MCSBudget:  2000,
+			Workers:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.TopKBatch(queries, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,191 @@
+// Command gserve serves top-k graph similarity queries over HTTP from a
+// persisted index — the online half of the paper's offline/online split:
+// dspm builds the index once (expensive: mining, MCS matrix, DSPM), and
+// gserve answers queries in milliseconds from the mapped vector space.
+//
+// Usage:
+//
+//	dspm -gen 200 -out index.json
+//	gserve -index index.json -addr :8080
+//
+// Endpoints:
+//
+//	POST /topk     query graphs in the standard text format ("t #" /
+//	               "v id label" / "e u v label"), one result list per
+//	               query, JSON out. ?k=10 overrides the default k.
+//	GET  /healthz  liveness probe with index shape.
+//	GET  /stats    cumulative query counters and latency.
+//
+// Example:
+//
+//	curl -s --data-binary @queries.graphs 'localhost:8080/topk?k=5'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/graphdim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gserve: ")
+	var (
+		index = flag.String("index", "index.json", "index file built by dspm")
+		addr  = flag.String("addr", ":8080", "listen address")
+		k     = flag.Int("k", 10, "default number of results per query")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := graphdim.ReadIndex(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s: %d graphs, %d dimensions", *index, idx.Size(), len(idx.Dimensions()))
+
+	srv := newServer(idx, *k)
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// maxBodyBytes caps a /topk request body. 32 MiB is ~3 orders of
+// magnitude above a realistic query batch in the text format.
+const maxBodyBytes = 32 << 20
+
+// server holds the immutable index (safe for concurrent readers) and the
+// cumulative counters reported by /stats. Counters are atomics — handler
+// goroutines never share any other mutable state.
+type server struct {
+	idx      *graphdim.Index
+	defaultK int
+	started  time.Time
+
+	requests  atomic.Int64 // /topk requests answered successfully
+	queries   atomic.Int64 // individual query graphs answered
+	errors    atomic.Int64 // /topk requests rejected (sum with requests for the total)
+	latencyUS atomic.Int64 // cumulative successful-/topk latency, microseconds
+}
+
+func newServer(idx *graphdim.Index, defaultK int) http.Handler {
+	s := &server{idx: idx, defaultK: defaultK, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// topkResult mirrors graphdim.Result with stable JSON field names.
+type topkResult struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+type topkResponse struct {
+	K         int            `json:"k"`
+	Queries   int            `json:"queries"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Results   [][]topkResult `json:"results"`
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST a graph database in the standard text format")
+		return
+	}
+	start := time.Now()
+	k := s.defaultK
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.fail(w, http.StatusBadRequest, "k must be a positive integer, got %q", v)
+			return
+		}
+		k = n
+	}
+	// Bound the request body so one oversized POST cannot exhaust server
+	// memory; MaxBytesReader also closes the connection on overrun.
+	queries, err := graphdim.ReadGraphs(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parsing query graphs: %v", err)
+		return
+	}
+	if len(queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "no query graphs in request body")
+		return
+	}
+	batches, err := s.idx.TopKBatch(queries, k)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := topkResponse{
+		K:       k,
+		Queries: len(queries),
+		Results: make([][]topkResult, len(batches)),
+	}
+	for i, batch := range batches {
+		out := make([]topkResult, len(batch))
+		for j, res := range batch {
+			out[j] = topkResult{ID: res.ID, Distance: res.Distance}
+		}
+		resp.Results[i] = out
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+
+	s.requests.Add(1)
+	s.queries.Add(int64(len(queries)))
+	s.latencyUS.Add(elapsed.Microseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"graphs":     s.idx.Size(),
+		"dimensions": len(s.idx.Dimensions()),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	requests := s.requests.Load()
+	stats := map[string]any{
+		"graphs":           s.idx.Size(),
+		"dimensions":       len(s.idx.Dimensions()),
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+		"topk_requests":    requests,
+		"queries_answered": s.queries.Load(),
+		"errors":           s.errors.Load(),
+	}
+	if requests > 0 {
+		stats["mean_latency_ms"] = float64(s.latencyUS.Load()) / float64(requests) / 1e3
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/graphdim"
+	"repro/internal/dataset"
+)
+
+// buildTestIndex builds a small index and round-trips it through the
+// persistence layer, exercising the same load path main uses.
+func buildTestIndex(t *testing.T) *graphdim.Index {
+	t.Helper()
+	db := dataset.Chemical(dataset.ChemConfig{N: 25, MinVertices: 8, MaxVertices: 12, Seed: 7})
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 12, Tau: 0.2, MCSBudget: 1500})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	loaded, err := graphdim.ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	return loaded
+}
+
+func queriesText(t *testing.T, idx *graphdim.Index, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	gs := make([]*graphdim.Graph, n)
+	for i := 0; i < n; i++ {
+		gs[i] = idx.Graph(i)
+	}
+	if err := graphdim.WriteGraphs(&buf, gs); err != nil {
+		t.Fatalf("WriteGraphs: %v", err)
+	}
+	return buf.String()
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	idx := buildTestIndex(t)
+	ts := httptest.NewServer(newServer(idx, 10))
+	defer ts.Close()
+
+	body := queriesText(t, idx, 3)
+	resp, err := http.Post(ts.URL+"/topk?k=5", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out topkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K != 5 || out.Queries != 3 || len(out.Results) != 3 {
+		t.Fatalf("unexpected response shape: k=%d queries=%d results=%d", out.K, out.Queries, len(out.Results))
+	}
+	for qi, batch := range out.Results {
+		if len(batch) != 5 {
+			t.Fatalf("query %d: got %d results, want 5", qi, len(batch))
+		}
+		// Each query is a database graph: its own id must rank at
+		// distance 0.
+		if batch[0].Distance != 0 {
+			t.Fatalf("query %d: nearest distance = %v, want 0", qi, batch[0].Distance)
+		}
+	}
+}
+
+func TestTopKEndpointRejectsBadRequests(t *testing.T) {
+	idx := buildTestIndex(t)
+	ts := httptest.NewServer(newServer(idx, 10))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name   string
+		method string
+		url    string
+		body   string
+		want   int
+	}{
+		{"wrong method", http.MethodGet, "/topk", "", http.StatusMethodNotAllowed},
+		{"empty body", http.MethodPost, "/topk", "", http.StatusBadRequest},
+		{"bad k", http.MethodPost, "/topk?k=zero", "t # 0\nv 0 1\n", http.StatusBadRequest},
+		{"negative k", http.MethodPost, "/topk?k=-3", "t # 0\nv 0 1\n", http.StatusBadRequest},
+		{"garbage body", http.MethodPost, "/topk", "not a graph\n", http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.url, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	idx := buildTestIndex(t)
+	ts := httptest.NewServer(newServer(idx, 10))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz status = %v", health["status"])
+	}
+
+	// Serve a batch, then confirm the counters moved.
+	body := queriesText(t, idx, 2)
+	if _, err := http.Post(ts.URL+"/topk", "text/plain", strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := stats["topk_requests"].(float64); got != 1 {
+		t.Fatalf("topk_requests = %v, want 1", got)
+	}
+	if got := stats["queries_answered"].(float64); got != 2 {
+		t.Fatalf("queries_answered = %v, want 2", got)
+	}
+}
+
+// TestConcurrentRequests hammers one server (hence one shared Index) from
+// many goroutines — meaningful under -race.
+func TestConcurrentRequests(t *testing.T) {
+	idx := buildTestIndex(t)
+	ts := httptest.NewServer(newServer(idx, 5))
+	defer ts.Close()
+
+	body := queriesText(t, idx, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(ts.URL+"/topk", "text/plain", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,9 +1,17 @@
 // Package repro is a from-scratch Go reproduction of "Leveraging Graph
 // Dimensions in Online Graph Search" (Zhu, Yu, Qin; PVLDB 8(1), 2014).
 //
-// The public API lives in the graphdim subpackage; the paper's algorithms
-// and substrates are implemented under internal/ (see DESIGN.md for the
-// full inventory). The benchmarks in bench_test.go regenerate every figure
-// of the paper's evaluation section; EXPERIMENTS.md records the measured
-// shapes against the paper's.
+// The public API lives in the graphdim subpackage: Build runs the
+// parallel offline path (gSpan mining, pairwise MCS matrix, DSPM/DSPMap
+// dimension selection) under an Options.Workers bound, and the resulting
+// Index serves concurrent TopK/TopKBatch readers and persists via
+// WriteTo/ReadIndex. cmd/gserve exposes a persisted index over HTTP; the
+// other commands (gen, mine, dspm, gsearch, figures) cover the rest of
+// the pipeline — see README.md for a tour.
+//
+// The paper's algorithms and substrates are implemented under internal/
+// (see DESIGN.md for the full inventory and the concurrency model). The
+// benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation section plus the worker-scaling benches; EXPERIMENTS.md
+// records the measured shapes against the paper's.
 package repro

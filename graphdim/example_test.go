@@ -1,7 +1,9 @@
 package graphdim_test
 
 import (
+	"bytes"
 	"fmt"
+	"reflect"
 
 	"repro/graphdim"
 	"repro/internal/dataset"
@@ -26,4 +28,64 @@ func Example() {
 	}
 	fmt.Println(results[0].Distance == 0)
 	// Output: true
+}
+
+// ExampleIndex_TopKBatch answers a batch of queries in one call, fanning
+// them across the index's worker pool. Batch answers are identical to
+// one-at-a-time TopK answers at any Options.Workers setting.
+func ExampleIndex_TopKBatch() {
+	db := dataset.Chemical(dataset.ChemConfig{N: 30, MinVertices: 8, MaxVertices: 12, Seed: 4})
+	idx, err := graphdim.Build(db, graphdim.Options{
+		Dimensions: 15,
+		Tau:        0.15,
+		MCSBudget:  2000,
+		Workers:    4, // offline build and batch-query fan-out bound
+	})
+	if err != nil {
+		panic(err)
+	}
+	batches, err := idx.TopKBatch(db[:3], 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, batch := range batches {
+		// Each query is a database graph, so its nearest neighbour is
+		// itself at distance 0.
+		fmt.Println(i, batch[0].ID == i, batch[0].Distance)
+	}
+	// Output:
+	// 0 true 0
+	// 1 true 0
+	// 2 true 0
+}
+
+// ExampleIndex_WriteTo persists a built index and reloads it with
+// ReadIndex — the offline/online split: build once with dspm, serve
+// queries from the saved file with gserve without re-mining or
+// re-running DSPM.
+func ExampleIndex_WriteTo() {
+	db := dataset.Chemical(dataset.ChemConfig{N: 30, MinVertices: 8, MaxVertices: 12, Seed: 4})
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 15, Tau: 0.15, MCSBudget: 2000})
+	if err != nil {
+		panic(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	loaded, err := graphdim.ReadIndex(&buf)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println(loaded.Size() == idx.Size())
+	fmt.Println(len(loaded.Dimensions()) == len(idx.Dimensions()))
+	a, _ := idx.TopK(db[7], 3)
+	b, _ := loaded.TopK(db[7], 3)
+	fmt.Println(reflect.DeepEqual(a, b))
+	// Output:
+	// true
+	// true
+	// true
 }

@@ -16,6 +16,13 @@
 //	db, _ := graphdim.ReadGraphs(f)
 //	idx, _ := graphdim.Build(db, graphdim.Options{Dimensions: 200})
 //	results, _ := idx.TopK(query, 10)
+//
+// Build parallelizes the offline path (mining, the pairwise MCS matrix,
+// vector materialization) across Options.Workers goroutines, defaulting
+// to one per CPU. The returned Index is immutable and safe for concurrent
+// readers; TopKBatch fans a query batch across the same worker bound, and
+// WriteTo/ReadIndex persist an index so query servers (cmd/gserve) can
+// load it without re-mining or re-running DSPM.
 package graphdim
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/gspan"
 	"repro/internal/mcs"
+	"repro/internal/pool"
 	"repro/internal/subiso"
 	"repro/internal/topk"
 	"repro/internal/vecspace"
@@ -100,6 +108,16 @@ type Options struct {
 	Seed int64
 	// Iterations caps DSPM's majorization loop; zero means 30.
 	Iterations int
+	// Workers bounds the worker pools used by the offline build path
+	// (gSpan mining, the DSPM pairwise MCS matrix, vector
+	// materialization) and inherited by the index for TopKBatch fan-out.
+	// Zero or negative means one worker per CPU. Build output is
+	// identical for every worker count — parallelism changes only
+	// wall-clock time. Note the DSPMap algorithm evaluates its
+	// dissimilarities lazily inside sequential partition passes, so
+	// Workers accelerates only its mining and vector stages; the
+	// MCS-dominated stage Workers speeds up most is DSPM's matrix.
+	Workers int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -121,6 +139,7 @@ func (o Options) withDefaults(n int) Options {
 			o.PartitionSize = 20
 		}
 	}
+	o.Workers = pool.DefaultWorkers(o.Workers)
 	return o
 }
 
@@ -128,6 +147,13 @@ func (o Options) withDefaults(n int) Options {
 // subgraph dimensions and the database's binary vectors. It answers top-k
 // similarity queries with a feature-matching step (VF2) plus a linear
 // scan of the vector space.
+//
+// An Index is immutable once returned by Build or ReadIndex and is safe
+// for any number of concurrent readers: TopK, TopKBatch, TopKExact,
+// Dissimilarity and all accessors may be called from multiple goroutines
+// without external locking. Every query allocates its own matcher and
+// ranking state; the shared fields (graphs, features, bit vectors,
+// weights) are only ever read.
 type Index struct {
 	db       []*Graph
 	features []*Graph
@@ -136,6 +162,7 @@ type Index struct {
 	metric   Metric
 	mcsOpt   mcs.Options
 	weights  []float64
+	workers  int // TopKBatch fan-out bound; always >= 1
 }
 
 // Build mines frequent subgraphs from db, selects the dimension set with
@@ -150,6 +177,7 @@ func Build(db []*Graph, opt Options) (*Index, error) {
 		MinSupport:  gspan.MinSupportRatio(opt.Tau, len(db)),
 		MaxEdges:    opt.MaxPatternEdges,
 		MaxFeatures: opt.MaxCandidates,
+		Workers:     opt.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("graphdim: mining candidates: %w", err)
@@ -167,7 +195,7 @@ func Build(db []*Graph, opt Options) (*Index, error) {
 	var res *core.Result
 	switch opt.Algorithm {
 	case DSPM:
-		delta := opt.Metric.Matrix(db, mcsOpt)
+		delta := opt.Metric.MatrixWorkers(db, mcsOpt, opt.Workers)
 		res, err = core.DSPM(idx, delta, core.Config{P: p, MaxIter: opt.Iterations})
 	case DSPMap:
 		dis := func(i, j int) float64 {
@@ -193,9 +221,9 @@ func Build(db []*Graph, opt Options) (*Index, error) {
 	}
 	sub := idx.Subindex(res.Selected)
 	vectors := make([]*vecspace.BitVector, sub.N)
-	for i := 0; i < sub.N; i++ {
+	pool.For(opt.Workers, sub.N, func(i int) {
 		vectors[i] = sub.Vector(i)
-	}
+	})
 	return &Index{
 		db:       db,
 		features: features,
@@ -204,6 +232,7 @@ func Build(db []*Graph, opt Options) (*Index, error) {
 		metric:   opt.Metric,
 		mcsOpt:   mcsOpt,
 		weights:  weights,
+		workers:  opt.Workers,
 	}, nil
 }
 
@@ -249,6 +278,41 @@ func (ix *Index) TopK(q *Graph, k int) ([]Result, error) {
 		out[i] = Result{ID: ranking[i].ID, Distance: ranking[i].Score}
 	}
 	return out, nil
+}
+
+// TopKBatch answers many top-k queries at once, fanning them across the
+// index's worker pool (the Workers value Build was configured with, or
+// one worker per CPU for a loaded index). Result i corresponds to
+// queries[i]. The whole batch is validated up front: a nil query or
+// non-positive k fails the batch before any work is spent, so a partial
+// result is never returned.
+func (ix *Index) TopKBatch(queries []*Graph, k int) ([][]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("graphdim: k must be positive, got %d", k)
+	}
+	for i, q := range queries {
+		if q == nil {
+			return nil, fmt.Errorf("graphdim: nil query at index %d", i)
+		}
+	}
+	out := make([][]Result, len(queries))
+	pool.For(ix.queryWorkers(), len(queries), func(i int) {
+		res, err := ix.TopK(queries[i], k)
+		if err != nil {
+			// Unreachable: inputs were validated above and TopK has no
+			// other failure mode. Keep the batch shape regardless.
+			res = nil
+		}
+		out[i] = res
+	})
+	return out, nil
+}
+
+func (ix *Index) queryWorkers() int {
+	if ix.workers > 0 {
+		return ix.workers
+	}
+	return pool.DefaultWorkers(0)
 }
 
 // TopKExact answers the query with the exact MCS-based engine — orders of

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/mcs"
+	"repro/internal/pool"
 	"repro/internal/vecspace"
 )
 
@@ -83,6 +84,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		metric:  Metric(f.Metric),
 		mcsOpt:  mcs.Options{MaxNodes: f.MCSBudget},
 		weights: f.Weights,
+		workers: pool.DefaultWorkers(0),
 	}
 	for i, s := range f.Features {
 		g, err := parseOne(s)

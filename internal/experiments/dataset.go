@@ -13,14 +13,13 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/gspan"
 	"repro/internal/mcs"
+	"repro/internal/pool"
 	"repro/internal/topk"
 	"repro/internal/vecspace"
 )
@@ -50,6 +49,9 @@ type Config struct {
 	MCSBudget int64
 	// Seed drives dataset generation.
 	Seed int64
+	// Workers bounds the worker pools building the dataset (δ matrix,
+	// mining, exact rankings); <= 0 means one per CPU.
+	Workers int
 	// Synth configures the synthetic generator (used by BuildSynthetic).
 	Synth dataset.SynthConfig
 	// Chem configures the chemical generator (used by BuildChemical).
@@ -97,6 +99,8 @@ type Dataset struct {
 	// BaselineCap is the candidate-truncation size for the
 	// quadratic-in-m baselines (see Config.BaselineCap).
 	BaselineCap int
+	// Workers is the pool bound used for the parallel build stages.
+	Workers int
 
 	ExactRankings []topk.Ranking // per query, full exact ranking of DB
 	FPRankings    []topk.Ranking // per query, Tanimoto benchmark ranking
@@ -135,12 +139,14 @@ func assemble(name string, db, queries []*graph.Graph, cfg Config) (*Dataset, er
 		Metric:      mcs.Delta2,
 		MCSOpt:      mcs.Options{MaxNodes: cfg.MCSBudget},
 		BaselineCap: cfg.BaselineCap,
+		Workers:     pool.DefaultWorkers(cfg.Workers),
 	}
 	minSup := gspan.MinSupportRatio(cfg.Tau, len(db))
 	feats, err := gspan.Mine(db, gspan.Options{
 		MinSupport:  minSup,
 		MaxEdges:    cfg.MaxEdges,
 		MaxFeatures: cfg.MaxFeatures,
+		Workers:     ds.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: mining %s: %w", name, err)
@@ -162,59 +168,18 @@ func assemble(name string, db, queries []*graph.Graph, cfg Config) (*Dataset, er
 	return ds, nil
 }
 
-// parallelDelta computes the symmetric δ matrix over DB using all cores.
+// parallelDelta computes the symmetric δ matrix over DB with the
+// dataset's worker pool.
 func (ds *Dataset) parallelDelta() [][]float64 {
-	n := len(ds.DB)
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-	}
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	rows := make(chan int, n)
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				for j := i + 1; j < n; j++ {
-					d[i][j] = ds.Metric.DissimilarityBudget(ds.DB[i], ds.DB[j], ds.MCSOpt)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for i := 0; i < n; i++ {
-		for j := 0; j < i; j++ {
-			d[i][j] = d[j][i]
-		}
-	}
-	return d
+	return ds.Metric.MatrixWorkers(ds.DB, ds.MCSOpt, ds.Workers)
 }
 
 // parallelExactRankings computes the ground-truth ranking per query.
 func (ds *Dataset) parallelExactRankings() []topk.Ranking {
 	out := make([]topk.Ranking, len(ds.Queries))
-	var wg sync.WaitGroup
-	qs := make(chan int, len(ds.Queries))
-	for i := range ds.Queries {
-		qs <- i
-	}
-	close(qs)
-	for w := 0; w < runtime.NumCPU(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for qi := range qs {
-				out[qi] = topk.Exact(ds.DB, ds.Queries[qi], ds.Metric, ds.MCSOpt)
-			}
-		}()
-	}
-	wg.Wait()
+	pool.For(ds.Workers, len(ds.Queries), func(qi int) {
+		out[qi] = topk.Exact(ds.DB, ds.Queries[qi], ds.Metric, ds.MCSOpt)
+	})
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
 
 // Feature is a mined frequent connected subgraph together with its support
@@ -35,6 +36,16 @@ type Options struct {
 	// MaxFeatures stops mining after this many patterns; 0 means
 	// unlimited. Patterns are still each canonical and frequent.
 	MaxFeatures int
+	// Workers bounds the worker pool mining root-pattern subtrees
+	// concurrently; <= 0 means one per CPU. The output — patterns, their
+	// order, and their support sets — is identical for every worker
+	// count: each frequent single-edge root spans an independent DFS-code
+	// subtree, subtrees are mined in isolation, and results are
+	// concatenated in the canonical root order. When MaxFeatures > 0
+	// mining is sequential regardless of Workers, preserving the global
+	// early-exit: a capped run must not pay for subtrees whose output
+	// would be truncated away.
+	Workers int
 }
 
 // MinSupportRatio converts a relative threshold τ ∈ (0,1] into Options'
@@ -200,17 +211,49 @@ func (m *miner) run() {
 		}
 		return a.toLabel < b.toLabel
 	})
+	frequent := keys[:0]
 	for _, k := range keys {
-		p := roots[k]
-		if len(p.supportSet()) < m.opt.MinSupport {
-			continue
+		if len(roots[k].supportSet()) >= m.opt.MinSupport {
+			frequent = append(frequent, k)
 		}
-		m.code = dfsCode{{from: 0, to: 1, fromLabel: k.fromLabel, eLabel: k.eLabel, toLabel: k.toLabel}}
-		m.grow(p)
-		m.code = nil
-		if m.done {
-			return
+	}
+
+	// Sequential in-order walk when there is nothing to parallelize or a
+	// MaxFeatures cap is set: the cap's global early-exit (stop as soon
+	// as the running output reaches it, skipping every later subtree)
+	// only exists on an ordered walk, and losing it would multiply a
+	// capped run's work by the number of frequent roots.
+	workers := pool.DefaultWorkers(m.opt.Workers)
+	if workers <= 1 || m.opt.MaxFeatures > 0 {
+		for _, k := range frequent {
+			m.code = dfsCode{{from: 0, to: 1, fromLabel: k.fromLabel, eLabel: k.eLabel, toLabel: k.toLabel}}
+			m.grow(roots[k])
+			m.code = nil
+			if m.done {
+				return
+			}
 		}
+		return
+	}
+
+	// Each frequent root spans an independent DFS-code subtree: mine the
+	// subtrees with a bounded worker pool, each in its own miner so the
+	// mutable DFS state (code, out) is never shared, then splice the
+	// per-root pattern lists back together in canonical root order —
+	// the same output the sequential walk produces.
+	perRoot := make([][]*Feature, len(frequent))
+	pool.For(workers, len(frequent), func(i int) {
+		k := frequent[i]
+		sub := &miner{
+			db:   m.db,
+			opt:  m.opt,
+			code: dfsCode{{from: 0, to: 1, fromLabel: k.fromLabel, eLabel: k.eLabel, toLabel: k.toLabel}},
+		}
+		sub.grow(roots[k])
+		perRoot[i] = sub.out
+	})
+	for _, feats := range perRoot {
+		m.out = append(m.out, feats...)
 	}
 }
 

@@ -1,0 +1,49 @@
+package gspan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestMineDeterministicAcrossWorkers asserts that the parallel root-subtree
+// miner produces exactly the sequential output — same patterns, same
+// order, same support sets — at any worker count, with and without a
+// MaxFeatures cap.
+func TestMineDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	db := make([]*graph.Graph, 20)
+	for i := range db {
+		db[i] = randomGraph(r, 8, 4, 3)
+	}
+	for _, maxFeatures := range []int{0, 7} {
+		base := Options{MinSupport: 3, MaxEdges: 5, MaxFeatures: maxFeatures}
+		seqOpt := base
+		seqOpt.Workers = 1
+		want, err := Mine(db, seqOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5, 16} {
+			parOpt := base
+			parOpt.Workers = workers
+			got, err := Mine(db, parOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("maxFeatures=%d workers=%d: %d patterns, want %d", maxFeatures, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Graph.String() != want[i].Graph.String() {
+					t.Fatalf("maxFeatures=%d workers=%d: pattern %d differs", maxFeatures, workers, i)
+				}
+				if !reflect.DeepEqual(got[i].Support, want[i].Support) {
+					t.Fatalf("maxFeatures=%d workers=%d: support of pattern %d differs", maxFeatures, workers, i)
+				}
+			}
+		}
+	}
+}

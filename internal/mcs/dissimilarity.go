@@ -1,6 +1,9 @@
 package mcs
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/pool"
+)
 
 // Metric selects one of the paper's two MCS-based dissimilarities.
 type Metric int
@@ -62,18 +65,34 @@ func (m Metric) DissimilarityBudget(a, b *graph.Graph, opt Options) float64 {
 
 // Matrix computes the full pairwise dissimilarity matrix for a graph
 // database, exploiting symmetry (δ is symmetric, Section 2). The diagonal
-// is zero. opt bounds each individual MCS search.
+// is zero. opt bounds each individual MCS search. It is the sequential
+// form of MatrixWorkers — O(n²) MCS searches on one goroutine.
 func (m Metric) Matrix(db []*graph.Graph, opt Options) [][]float64 {
+	return m.MatrixWorkers(db, opt, 1)
+}
+
+// MatrixWorkers computes the same matrix with a bounded worker pool:
+// rows are distributed across at most workers goroutines (workers <= 0
+// means one per CPU). Each (i,j) pair is still computed exactly once and
+// each MCS search is independent, so the result is identical to Matrix
+// for every worker count.
+func (m Metric) MatrixWorkers(db []*graph.Graph, opt Options, workers int) [][]float64 {
 	n := len(db)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	// Parallelize over rows; row i owns pairs (i, i+1..n-1). Rows shrink
+	// toward the end, but the pool hands out indices dynamically so the
+	// imbalance costs at most one row's latency.
+	pool.For(pool.DefaultWorkers(workers), n, func(i int) {
 		for j := i + 1; j < n; j++ {
-			v := m.DissimilarityBudget(db[i], db[j], opt)
-			d[i][j] = v
-			d[j][i] = v
+			d[i][j] = m.DissimilarityBudget(db[i], db[j], opt)
+		}
+	})
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			d[i][j] = d[j][i]
 		}
 	}
 	return d

@@ -1,0 +1,28 @@
+package mcs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestMatrixWorkersMatchesSequential: the parallel matrix must be
+// bit-identical to the sequential one — each pair is an independent
+// search, parallelism only changes scheduling.
+func TestMatrixWorkersMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	db := make([]*graph.Graph, 12)
+	for i := range db {
+		db[i] = randomGraph(r, 6, 3, 3)
+	}
+	opt := Options{MaxNodes: 500}
+	want := Delta2.Matrix(db, opt)
+	for _, workers := range []int{0, 2, 8} {
+		got := Delta2.MatrixWorkers(db, opt, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: matrix differs from sequential", workers)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package pool provides the bounded worker pool shared by every
+// parallelized stage of the offline build path (pairwise MCS matrices,
+// gSpan root-pattern mining, per-graph vector mapping) and the online
+// batch query path. Keeping the fan-out logic in one place makes the
+// concurrency model auditable: every parallel loop in the repository is a
+// pool.For over an index range with a caller-chosen worker count.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers resolves a Workers option: values <= 0 mean "one worker
+// per CPU" (GOMAXPROCS, which respects cgroup and runtime limits).
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines.
+// workers <= 1 degenerates to a plain sequential loop on the calling
+// goroutine — zero overhead and trivially deterministic, which is what
+// makes Workers: 1 a meaningful determinism baseline. fn must be safe to
+// call concurrently for distinct i; For returns only after every call has
+// finished.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Atomic-free striding would unbalance irregular work (MCS searches
+	// vary by orders of magnitude per pair), so hand out indices through a
+	// channel: cheap at this granularity and naturally work-stealing.
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

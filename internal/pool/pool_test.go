@@ -1,0 +1,40 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		counts := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(5); got != 5 {
+		t.Fatalf("DefaultWorkers(5) = %d", got)
+	}
+	if got := DefaultWorkers(0); got < 1 {
+		t.Fatalf("DefaultWorkers(0) = %d, want >= 1", got)
+	}
+	if got := DefaultWorkers(-1); got < 1 {
+		t.Fatalf("DefaultWorkers(-1) = %d, want >= 1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/gspan"
+	"repro/internal/pool"
 	"repro/internal/subiso"
 )
 
@@ -82,7 +83,9 @@ func popcount(x uint64) int {
 
 // Mapper maps graphs onto a fixed feature set F = {f1..fp} by subgraph
 // isomorphism tests (φ in the paper). It is how unseen query graphs enter
-// the multidimensional space.
+// the multidimensional space. A Mapper is immutable after construction
+// and therefore safe for concurrent use: every Map call allocates its own
+// VF2 matcher state.
 type Mapper struct {
 	features []*graph.Graph
 }
@@ -113,12 +116,21 @@ func (m *Mapper) Map(g *graph.Graph) *BitVector {
 	return v
 }
 
-// MapAll maps a whole database.
+// MapAll maps a whole database sequentially.
 func (m *Mapper) MapAll(db []*graph.Graph) []*BitVector {
+	return m.MapAllWorkers(db, 1)
+}
+
+// MapAllWorkers maps a whole database with a bounded worker pool, one
+// graph per task (workers <= 0 means one per CPU). Per-graph mapping is
+// embarrassingly parallel — the p subgraph-isomorphism tests of graph i
+// share nothing with those of graph j — so the result is identical to
+// MapAll for every worker count.
+func (m *Mapper) MapAllWorkers(db []*graph.Graph, workers int) []*BitVector {
 	out := make([]*BitVector, len(db))
-	for i, g := range db {
-		out[i] = m.Map(g)
-	}
+	pool.For(pool.DefaultWorkers(workers), len(db), func(i int) {
+		out[i] = m.Map(db[i])
+	})
 	return out
 }
 
