@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -472,6 +473,36 @@ func BenchmarkTopKBatchWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := idx.TopKBatch(queries, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchEngines measures one query through each Search engine on
+// the same index — the latency side of the accuracy/latency dial the v2
+// API exposes (mapped ≪ verified ≪ exact).
+func BenchmarkSearchEngines(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 60, AvgEdges: 12, Labels: 8, Seed: 5})
+	idx, err := graphdim.Build(db, graphdim.Options{
+		Dimensions: 30,
+		Tau:        0.1,
+		MCSBudget:  2000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := db[7]
+	ctx := context.Background()
+	for _, opt := range []graphdim.SearchOptions{
+		{K: 10, Engine: graphdim.EngineMapped},
+		{K: 10, Engine: graphdim.EngineVerified, VerifyFactor: 3},
+		{K: 10, Engine: graphdim.EngineExact},
+	} {
+		b.Run(opt.Engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Search(ctx, q, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

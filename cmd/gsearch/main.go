@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	gsearch -index index.json -queries q.graphs [-k 10] [-exact]
+//	gsearch -index index.gdx -queries q.graphs [-k 10] [-engine verified] [-factor 3]
 //
-// With -exact the MCS-based exact engine is used instead of the mapped
-// space (orders of magnitude slower; for ground-truth comparison).
+// The engine flag picks the query engine: mapped (the paper's vector-space
+// scan, the default), verified (retrieve factor·k candidates, re-rank by
+// exact MCS), or exact (full MCS search; orders of magnitude slower, for
+// ground-truth comparison). Ctrl-C cancels an in-flight query promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/graphdim"
@@ -23,15 +28,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gsearch: ")
 	var (
-		index   = flag.String("index", "index.json", "index file built by dspm")
+		index   = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
 		queries = flag.String("queries", "", "query graphs file (text format)")
 		k       = flag.Int("k", 10, "number of results per query")
-		exact   = flag.Bool("exact", false, "use the exact MCS engine")
+		engine  = flag.String("engine", "mapped", "query engine: mapped, verified or exact")
+		factor  = flag.Int("factor", 0, "verified engine: candidates = factor*k (0 = default 3)")
+		maxcand = flag.Int("maxcand", 0, "verified engine: hard cap on verified candidates (0 = uncapped)")
+		exact   = flag.Bool("exact", false, "deprecated: use -engine exact")
 	)
 	flag.Parse()
 	if *queries == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	eng, err := graphdim.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *exact {
+		eng = graphdim.EngineExact
 	}
 
 	f, err := os.Open(*index)
@@ -54,20 +69,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := graphdim.SearchOptions{K: *k, Engine: eng, VerifyFactor: *factor, MaxCandidates: *maxcand}
 	for qi, q := range qs {
-		start := time.Now()
-		var results []graphdim.Result
-		if *exact {
-			results, err = idx.TopKExact(q, *k)
-		} else {
-			results, err = idx.TopK(q, *k)
-		}
+		res, err := idx.Search(ctx, q, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("query %d (%d vertices, %d edges) answered in %v:\n",
-			qi, q.N(), q.M(), time.Since(start).Round(time.Microsecond))
-		for rank, r := range results {
+		fmt.Printf("query %d (%d vertices, %d edges): %d/%d dimensions matched, %s engine scored %d candidates in %v:\n",
+			qi, q.N(), q.M(), res.Matched.Count(), res.Matched.Len(),
+			res.Engine, res.Candidates, res.Elapsed.Round(time.Microsecond))
+		for rank, r := range res.Results {
 			fmt.Printf("  %2d. graph %-6d distance %.4f\n", rank+1, r.ID, r.Distance)
 		}
 	}

@@ -2,34 +2,54 @@
 // persisted index — the online half of the paper's offline/online split:
 // dspm builds the index once (expensive: mining, MCS matrix, DSPM), and
 // gserve answers queries in milliseconds from the mapped vector space.
+// The index also grows online: POST /add maps new graphs into the fixed
+// dimension space without re-mining or re-running DSPM.
 //
 // Usage:
 //
-//	dspm -gen 200 -out index.json
-//	gserve -index index.json -addr :8080
+//	dspm -gen 200 -out index.gdx
+//	gserve -index index.gdx -addr :8080 -timeout 30s
 //
 // Endpoints:
 //
-//	POST /topk     query graphs in the standard text format ("t #" /
+//	POST /search   query graphs in the standard text format ("t #" /
 //	               "v id label" / "e u v label"), one result list per
-//	               query, JSON out. ?k=10 overrides the default k.
+//	               query, JSON out. Query parameters: k (results per
+//	               query), engine (mapped | verified | exact), factor
+//	               (verified candidate multiplier), maxcand (hard cap on
+//	               verified candidates).
+//	POST /add      graphs in the text format; maps them into the index's
+//	               dimension space and returns their assigned ids plus
+//	               the new stale ratio.
+//	POST /topk     deprecated v1 endpoint: /search restricted to the
+//	               mapped engine with the v1 response shape.
 //	GET  /healthz  liveness probe with index shape.
-//	GET  /stats    cumulative query counters and latency.
+//	GET  /stats    cumulative query counters, latency, stale ratio.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, waits up to -grace for in-flight requests, then exits.
+// -timeout bounds each request twice over: the connection's read/write
+// deadlines cover the body transfer, and the request context cancels the
+// underlying Search — exact and verified engines return promptly.
 //
 // Example:
 //
-//	curl -s --data-binary @queries.graphs 'localhost:8080/topk?k=5'
+//	curl -s --data-binary @queries.graphs 'localhost:8080/search?k=5&engine=verified&factor=4'
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/graphdim"
@@ -39,9 +59,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gserve: ")
 	var (
-		index = flag.String("index", "index.json", "index file built by dspm")
-		addr  = flag.String("addr", ":8080", "listen address")
-		k     = flag.Int("k", 10, "default number of results per query")
+		index   = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		k       = flag.Int("k", 10, "default number of results per query")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 
@@ -56,51 +78,241 @@ func main() {
 	}
 	log.Printf("loaded %s: %d graphs, %d dimensions", *index, idx.Size(), len(idx.Dimensions()))
 
-	srv := newServer(idx, *k)
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	srv := &http.Server{
+		Handler:           newServer(idx, *k, *timeout),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *timeout > 0 {
+		// The per-request context only bounds the search once the body is
+		// parsed; these bound the I/O around it, so a slow-body client
+		// cannot pin a handler goroutine past the advertised budget.
+		srv.ReadTimeout = *timeout
+		srv.WriteTimeout = 2 * *timeout
+	}
+	if err := serve(ctx, srv, ln, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
 }
 
-// maxBodyBytes caps a /topk request body. 32 MiB is ~3 orders of
-// magnitude above a realistic query batch in the text format.
+// serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
+// then drains in-flight requests for up to grace. Split from main so the
+// shutdown path is testable.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+// maxBodyBytes caps a request body. 32 MiB is ~3 orders of magnitude
+// above a realistic query batch in the text format.
 const maxBodyBytes = 32 << 20
 
-// server holds the immutable index (safe for concurrent readers) and the
-// cumulative counters reported by /stats. Counters are atomics — handler
-// goroutines never share any other mutable state.
+// server holds the index (safe for concurrent readers and writers: see
+// graphdim.Index) and the cumulative counters reported by /stats.
+// Counters are atomics — handler goroutines share no other mutable state.
 type server struct {
 	idx      *graphdim.Index
 	defaultK int
+	timeout  time.Duration
 	started  time.Time
 
-	requests  atomic.Int64 // /topk requests answered successfully
+	requests  atomic.Int64 // search/topk requests answered successfully
 	queries   atomic.Int64 // individual query graphs answered
-	errors    atomic.Int64 // /topk requests rejected (sum with requests for the total)
-	latencyUS atomic.Int64 // cumulative successful-/topk latency, microseconds
+	added     atomic.Int64 // graphs added via /add
+	errors    atomic.Int64 // requests rejected (sum with requests for the total)
+	latencyUS atomic.Int64 // cumulative successful-search latency, microseconds
 }
 
-func newServer(idx *graphdim.Index, defaultK int) http.Handler {
-	s := &server{idx: idx, defaultK: defaultK, started: time.Now()}
+func newServer(idx *graphdim.Index, defaultK int, timeout time.Duration) http.Handler {
+	s := &server{idx: idx, defaultK: defaultK, timeout: timeout, started: time.Now()}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/add", s.handleAdd)
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
-// topkResult mirrors graphdim.Result with stable JSON field names.
-type topkResult struct {
+// requestContext derives the per-request context, bounded by the
+// configured timeout; the returned cancel must be deferred.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// searchResult mirrors graphdim.Result with stable JSON field names.
+type searchResult struct {
 	ID       int     `json:"id"`
 	Distance float64 `json:"distance"`
 }
 
-type topkResponse struct {
-	K         int            `json:"k"`
-	Queries   int            `json:"queries"`
-	ElapsedMS float64        `json:"elapsed_ms"`
-	Results   [][]topkResult `json:"results"`
+type searchResponse struct {
+	K         int              `json:"k"`
+	Engine    string           `json:"engine"`
+	Queries   int              `json:"queries"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Results   [][]searchResult `json:"results"`
+	// Matched is the number of index dimensions each query graph
+	// contains — low counts mean the mapped space carries little signal
+	// for that query and the verified engine is worth the extra cost.
+	Matched []int `json:"matched_dimensions"`
 }
 
+// parseSearchOptions extracts the per-query knobs from the URL.
+func (s *server) parseSearchOptions(r *http.Request) (graphdim.SearchOptions, error) {
+	opt := graphdim.SearchOptions{K: s.defaultK}
+	q := r.URL.Query()
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return opt, fmt.Errorf("k must be a positive integer, got %q", v)
+		}
+		opt.K = n
+	}
+	if v := q.Get("engine"); v != "" {
+		e, err := graphdim.ParseEngine(v)
+		if err != nil {
+			return opt, fmt.Errorf("engine must be mapped, verified or exact, got %q", v)
+		}
+		opt.Engine = e
+	}
+	if v := q.Get("factor"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opt, fmt.Errorf("factor must be a non-negative integer, got %q", v)
+		}
+		opt.VerifyFactor = n
+	}
+	if v := q.Get("maxcand"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opt, fmt.Errorf("maxcand must be a non-negative integer, got %q", v)
+		}
+		opt.MaxCandidates = n
+	}
+	return opt, nil
+}
+
+func (s *server) readGraphs(w http.ResponseWriter, r *http.Request) ([]*graphdim.Graph, bool) {
+	// Bound the request body so one oversized POST cannot exhaust server
+	// memory; MaxBytesReader also closes the connection on overrun.
+	gs, err := graphdim.ReadGraphs(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parsing graphs: %v", err)
+		return nil, false
+	}
+	if len(gs) == 0 {
+		s.fail(w, http.StatusBadRequest, "no graphs in request body")
+		return nil, false
+	}
+	return gs, true
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST query graphs in the standard text format")
+		return
+	}
+	start := time.Now()
+	opt, err := s.parseSearchOptions(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	queries, ok := s.readGraphs(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	batch, err := s.idx.SearchBatch(ctx, queries, opt)
+	if err != nil {
+		s.failQuery(w, ctx, err)
+		return
+	}
+	resp := searchResponse{
+		K:       opt.K,
+		Engine:  opt.Engine.String(),
+		Queries: len(queries),
+		Results: make([][]searchResult, len(batch)),
+		Matched: make([]int, len(batch)),
+	}
+	for i, res := range batch {
+		out := make([]searchResult, len(res.Results))
+		for j, r := range res.Results {
+			out[j] = searchResult{ID: r.ID, Distance: r.Distance}
+		}
+		resp.Results[i] = out
+		resp.Matched[i] = res.Matched.Count()
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+
+	s.requests.Add(1)
+	s.queries.Add(int64(len(queries)))
+	s.latencyUS.Add(elapsed.Microseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type addResponse struct {
+	IDs        []int   `json:"ids"`
+	Size       int     `json:"size"`
+	StaleRatio float64 `json:"stale_ratio"`
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST graphs in the standard text format")
+		return
+	}
+	gs, ok := s.readGraphs(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	ids, err := s.idx.AddContext(ctx, gs...)
+	if err != nil {
+		s.failQuery(w, ctx, err)
+		return
+	}
+	s.added.Add(int64(len(ids)))
+	writeJSON(w, http.StatusOK, addResponse{
+		IDs:        ids,
+		Size:       s.idx.Size(),
+		StaleRatio: s.idx.StaleRatio(),
+	})
+}
+
+// topkResponse is the v1 response shape, kept for existing clients.
+type topkResponse struct {
+	K         int              `json:"k"`
+	Queries   int              `json:"queries"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Results   [][]searchResult `json:"results"`
+}
+
+// handleTopK is the deprecated v1 endpoint: always the mapped engine,
+// only the k knob.
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST a graph database in the standard text format")
@@ -116,31 +328,26 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	// Bound the request body so one oversized POST cannot exhaust server
-	// memory; MaxBytesReader also closes the connection on overrun.
-	queries, err := graphdim.ReadGraphs(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "parsing query graphs: %v", err)
+	queries, ok := s.readGraphs(w, r)
+	if !ok {
 		return
 	}
-	if len(queries) == 0 {
-		s.fail(w, http.StatusBadRequest, "no query graphs in request body")
-		return
-	}
-	batches, err := s.idx.TopKBatch(queries, k)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	batch, err := s.idx.SearchBatch(ctx, queries, graphdim.SearchOptions{K: k})
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.failQuery(w, ctx, err)
 		return
 	}
 	resp := topkResponse{
 		K:       k,
 		Queries: len(queries),
-		Results: make([][]topkResult, len(batches)),
+		Results: make([][]searchResult, len(batch)),
 	}
-	for i, batch := range batches {
-		out := make([]topkResult, len(batch))
-		for j, res := range batch {
-			out[j] = topkResult{ID: res.ID, Distance: res.Distance}
+	for i, res := range batch {
+		out := make([]searchResult, len(res.Results))
+		for j, r := range res.Results {
+			out[j] = searchResult{ID: r.ID, Distance: r.Distance}
 		}
 		resp.Results[i] = out
 	}
@@ -165,10 +372,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	requests := s.requests.Load()
 	stats := map[string]any{
 		"graphs":           s.idx.Size(),
+		"removed":          s.idx.Removed(),
 		"dimensions":       len(s.idx.Dimensions()),
+		"stale_ratio":      s.idx.StaleRatio(),
 		"uptime_seconds":   time.Since(s.started).Seconds(),
-		"topk_requests":    requests,
+		"search_requests":  requests,
 		"queries_answered": s.queries.Load(),
+		"graphs_added":     s.added.Load(),
 		"errors":           s.errors.Load(),
 	}
 	if requests > 0 {
@@ -180,6 +390,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
 	s.errors.Add(1)
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// failQuery reports a SearchBatch/Add error: 503 when the request's
+// deadline (or the client) cancelled the context, 400 for everything
+// else. One helper so the POST endpoints cannot diverge.
+func (s *server) failQuery(w http.ResponseWriter, ctx context.Context, err error) {
+	status := http.StatusBadRequest
+	if ctx.Err() != nil {
+		status = http.StatusServiceUnavailable
+	}
+	s.fail(w, status, "%v", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

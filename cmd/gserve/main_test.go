@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/graphdim"
 	"repro/internal/dataset"
@@ -48,7 +51,7 @@ func queriesText(t *testing.T, idx *graphdim.Index, n int) string {
 
 func TestTopKEndpoint(t *testing.T) {
 	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10))
+	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
 	defer ts.Close()
 
 	body := queriesText(t, idx, 3)
@@ -81,7 +84,7 @@ func TestTopKEndpoint(t *testing.T) {
 
 func TestTopKEndpointRejectsBadRequests(t *testing.T) {
 	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10))
+	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
 	defer ts.Close()
 
 	for _, tc := range []struct {
@@ -114,7 +117,7 @@ func TestTopKEndpointRejectsBadRequests(t *testing.T) {
 
 func TestHealthzAndStats(t *testing.T) {
 	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10))
+	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -144,11 +147,195 @@ func TestHealthzAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if got := stats["topk_requests"].(float64); got != 1 {
-		t.Fatalf("topk_requests = %v, want 1", got)
+	if got := stats["search_requests"].(float64); got != 1 {
+		t.Fatalf("search_requests = %v, want 1", got)
+	}
+	if _, ok := stats["stale_ratio"].(float64); !ok {
+		t.Fatalf("stats missing stale_ratio: %v", stats)
 	}
 	if got := stats["queries_answered"].(float64); got != 2 {
 		t.Fatalf("queries_answered = %v, want 2", got)
+	}
+}
+
+func TestSearchEndpointEngines(t *testing.T) {
+	idx := buildTestIndex(t)
+	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
+	defer ts.Close()
+
+	body := queriesText(t, idx, 2)
+	for _, engine := range []string{"mapped", "verified", "exact"} {
+		resp, err := http.Post(ts.URL+"/search?k=4&engine="+engine+"&factor=2", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out searchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", engine, resp.StatusCode)
+		}
+		if out.Engine != engine || out.K != 4 || len(out.Results) != 2 || len(out.Matched) != 2 {
+			t.Fatalf("%s: bad response shape: %+v", engine, out)
+		}
+		for qi, batch := range out.Results {
+			if len(batch) != 4 {
+				t.Fatalf("%s query %d: got %d results, want 4", engine, qi, len(batch))
+			}
+			// Each query is a database graph: its own id ranks at 0.
+			if batch[0].Distance != 0 {
+				t.Fatalf("%s query %d: nearest distance = %v, want 0", engine, qi, batch[0].Distance)
+			}
+		}
+	}
+
+	// Bad knobs are rejected.
+	for _, url := range []string{
+		"/search?engine=warp",
+		"/search?k=0",
+		"/search?factor=-1",
+		"/search?maxcand=-2",
+	} {
+		resp, err := http.Post(ts.URL+url, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestAddEndpoint(t *testing.T) {
+	idx := buildTestIndex(t)
+	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
+	defer ts.Close()
+
+	before := idx.Size()
+	newGraphs := dataset.Chemical(dataset.ChemConfig{N: 3, MinVertices: 8, MaxVertices: 12, Seed: 31})
+	var buf bytes.Buffer
+	if err := graphdim.WriteGraphs(&buf, newGraphs); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/add", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out addResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.IDs) != 3 || out.Size != before+3 || out.StaleRatio <= 0 {
+		t.Fatalf("bad add response: %+v", out)
+	}
+
+	// The added graphs are immediately searchable: self query hits its
+	// new id at distance 0.
+	var qbuf bytes.Buffer
+	if err := graphdim.WriteGraphs(&qbuf, newGraphs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/search?k=100", "text/plain", &qbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sout searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sout); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sout.Results) != 1 {
+		t.Fatalf("bad search response after add: %+v", sout)
+	}
+	// The new id must rank at distance 0 (other graphs may tie with an
+	// identical feature profile, so don't insist it ranks first).
+	found := false
+	for _, r := range sout.Results[0] {
+		if r.ID == out.IDs[0] {
+			found = true
+			if r.Distance != 0 {
+				t.Fatalf("self query after add: id %d at distance %v, want 0", r.ID, r.Distance)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("added id %d missing from search results", out.IDs[0])
+	}
+
+	// Garbage and empty bodies are rejected.
+	for _, body := range []string{"", "not a graph"} {
+		resp, err := http.Post(ts.URL+"/add", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("add %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestGracefulShutdown pins the serve loop: cancelling the signal context
+// must drain and return promptly without dropping an in-flight request.
+func TestGracefulShutdown(t *testing.T) {
+	idx := buildTestIndex(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newServer(idx, 5, 30*time.Second)}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	// The server must be answering before we shut it down.
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v after shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestRequestTimeoutCancelsSearch pins the -timeout flag: a request
+// exceeding it fails with 503 instead of hanging.
+func TestRequestTimeoutCancelsSearch(t *testing.T) {
+	idx := buildTestIndex(t)
+	// A 1ns budget cannot complete any search.
+	ts := httptest.NewServer(newServer(idx, 10, time.Nanosecond))
+	defer ts.Close()
+
+	body := queriesText(t, idx, 2)
+	resp, err := http.Post(ts.URL+"/search?engine=exact", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusServiceUnavailable)
 	}
 }
 
@@ -156,7 +343,7 @@ func TestHealthzAndStats(t *testing.T) {
 // many goroutines — meaningful under -race.
 func TestConcurrentRequests(t *testing.T) {
 	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 5))
+	ts := httptest.NewServer(newServer(idx, 5, 30*time.Second))
 	defer ts.Close()
 
 	body := queriesText(t, idx, 4)

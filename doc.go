@@ -1,13 +1,16 @@
 // Package repro is a from-scratch Go reproduction of "Leveraging Graph
 // Dimensions in Online Graph Search" (Zhu, Yu, Qin; PVLDB 8(1), 2014).
 //
-// The public API lives in the graphdim subpackage: Build runs the
+// The public API lives in the graphdim subpackage: BuildContext runs the
 // parallel offline path (gSpan mining, pairwise MCS matrix, DSPM/DSPMap
-// dimension selection) under an Options.Workers bound, and the resulting
-// Index serves concurrent TopK/TopKBatch readers and persists via
-// WriteTo/ReadIndex. cmd/gserve exposes a persisted index over HTTP; the
-// other commands (gen, mine, dspm, gsearch, figures) cover the rest of
-// the pipeline — see README.md for a tour.
+// dimension selection) under an Options.Workers bound with cancellation
+// and per-stage progress, and the resulting Index serves concurrent
+// Search/SearchBatch readers (per-query engine choice: mapped, verified,
+// exact), grows online via Add/Remove without re-running DSPM, and
+// persists via WriteTo/ReadIndex in a compact versioned binary format.
+// cmd/gserve exposes a persisted index over HTTP with graceful shutdown;
+// the other commands (gen, mine, dspm, gsearch, figures) cover the rest
+// of the pipeline — see README.md for a tour.
 //
 // The paper's algorithms and substrates are implemented under internal/
 // (see DESIGN.md for the full inventory and the concurrency model). The

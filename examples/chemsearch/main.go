@@ -1,11 +1,13 @@
 // Command chemsearch is a realistic compound-search workflow on the
 // graphdim public API: build an index over a chemical database, persist it
-// to disk, reload it, and compare mapped-space answers against the exact
-// MCS-based ranking — the scenario that motivates the paper (PubChem-style
-// similarity search without per-query MCS computation).
+// to disk (compact v2 binary format), reload it, and compare the mapped,
+// verified and exact engines on the same queries — the scenario that
+// motivates the paper (PubChem-style similarity search without per-query
+// MCS computation) plus the accuracy/latency dial the Search API exposes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +21,7 @@ import (
 func main() {
 	db := dataset.Chemical(dataset.ChemConfig{N: 120, Seed: 7})
 	queries := dataset.Chemical(dataset.ChemConfig{N: 5, Seed: 8})
+	ctx := context.Background()
 
 	fmt.Printf("building index over %d compounds...\n", len(db))
 	start := time.Now()
@@ -36,12 +39,13 @@ func main() {
 
 	// Persist and reload — a production index is built once, served many
 	// times.
-	path := filepath.Join(os.TempDir(), "chemsearch.index.json")
+	path := filepath.Join(os.TempDir(), "chemsearch.index.gdx")
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatalf("create: %v", err)
 	}
-	if _, err := idx.WriteTo(f); err != nil {
+	n, err := idx.WriteTo(f)
+	if err != nil {
 		log.Fatalf("save: %v", err)
 	}
 	f.Close()
@@ -54,37 +58,39 @@ func main() {
 	if err != nil {
 		log.Fatalf("load: %v", err)
 	}
-	fmt.Printf("index round-tripped through %s\n", path)
+	fmt.Printf("index round-tripped through %s (%d bytes, v2 binary)\n", path, n)
 
-	// Serve queries; compare the fast mapped answer against exact MCS.
+	// Serve queries; compare the engines against exact MCS ground truth.
 	const k = 5
 	for qi, q := range queries {
-		t0 := time.Now()
-		fast, err := idx.TopK(q, k)
-		if err != nil {
-			log.Fatalf("topk: %v", err)
-		}
-		fastTime := time.Since(t0)
-
-		t1 := time.Now()
-		exact, err := idx.TopKExact(q, k)
+		exact, err := idx.Search(ctx, q, graphdim.SearchOptions{K: k, Engine: graphdim.EngineExact})
 		if err != nil {
 			log.Fatalf("exact: %v", err)
 		}
-		exactTime := time.Since(t1)
-
 		inExact := map[int]bool{}
-		for _, r := range exact {
+		for _, r := range exact.Results {
 			inExact[r.ID] = true
 		}
-		hits := 0
-		for _, r := range fast {
-			if inExact[r.ID] {
-				hits++
+
+		fmt.Printf("query %d (%d/%d dimensions matched):\n", qi, exact.Matched.Count(), exact.Matched.Len())
+		for _, opt := range []graphdim.SearchOptions{
+			{K: k},
+			{K: k, Engine: graphdim.EngineVerified, VerifyFactor: 3},
+		} {
+			res, err := idx.Search(ctx, q, opt)
+			if err != nil {
+				log.Fatalf("%v: %v", opt.Engine, err)
 			}
+			hits := 0
+			for _, r := range res.Results {
+				if inExact[r.ID] {
+					hits++
+				}
+			}
+			fmt.Printf("  %-8v %-10v %d candidates scored, precision %d/%d (exact took %v)\n",
+				res.Engine, res.Elapsed.Round(time.Microsecond), res.Candidates,
+				hits, k, exact.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("query %d: mapped %-10v exact %-12v precision %d/%d\n",
-			qi, fastTime.Round(time.Microsecond), exactTime.Round(time.Millisecond), hits, k)
 	}
 	os.Remove(path)
 }

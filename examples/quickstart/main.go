@@ -1,10 +1,11 @@
 // Command quickstart is the smallest end-to-end use of the graphdim
 // public API: generate a toy molecule database, build a graph-dimension
-// index with DSPM, and answer a top-k similarity query in the mapped
-// space.
+// index with DSPM, answer a top-k similarity query in the mapped space,
+// and grow the index online with Add — no re-mining, no re-run of DSPM.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,10 +17,11 @@ func main() {
 	// A small chemical-compound-like database (deterministic).
 	db := dataset.Chemical(dataset.ChemConfig{N: 60, Seed: 42})
 	queries := dataset.Chemical(dataset.ChemConfig{N: 3, Seed: 43})
+	ctx := context.Background()
 
 	fmt.Printf("database: %d graphs, %d-%d vertices\n", len(db), minN(db), maxN(db))
 
-	// Build the index: mine frequent subgraphs (tau = 5%), select 40
+	// Build the index: mine frequent subgraphs (tau = 10%), select 40
 	// dimensions with DSPM, map the database.
 	idx, err := graphdim.Build(db, graphdim.Options{
 		Dimensions: 40,
@@ -34,20 +36,36 @@ func main() {
 
 	// Query the mapped space.
 	for qi, q := range queries {
-		results, err := idx.TopK(q, 5)
+		res, err := idx.Search(ctx, q, graphdim.SearchOptions{K: 5})
 		if err != nil {
 			log.Fatalf("query: %v", err)
 		}
-		fmt.Printf("query %d (%d vertices): top-5 =", qi, q.N())
-		for _, r := range results {
+		fmt.Printf("query %d (%d vertices, %d/%d dims matched): top-5 =",
+			qi, q.N(), res.Matched.Count(), res.Matched.Len())
+		for _, r := range res.Results {
 			fmt.Printf(" g%d(d=%.3f)", r.ID, r.Distance)
 		}
 		fmt.Println()
 
 		// Cross-check the best hit with the exact MCS dissimilarity.
-		d := idx.Dissimilarity(q, idx.Graph(results[0].ID))
+		d := idx.Dissimilarity(q, idx.Graph(res.Results[0].ID))
 		fmt.Printf("  exact delta2 to best hit: %.3f\n", d)
 	}
+
+	// Grow the index online: the queries become part of the database via
+	// a cheap VF2 mapping pass onto the existing dimensions.
+	ids, err := idx.Add(queries...)
+	if err != nil {
+		log.Fatalf("add: %v", err)
+	}
+	fmt.Printf("added %d graphs as ids %v; size %d, stale ratio %.3f\n",
+		len(ids), ids, idx.Size(), idx.StaleRatio())
+	res, err := idx.Search(ctx, queries[0], graphdim.SearchOptions{K: 1})
+	if err != nil {
+		log.Fatalf("query after add: %v", err)
+	}
+	fmt.Printf("self query after add: g%d at distance %.3f\n",
+		res.Results[0].ID, res.Results[0].Distance)
 }
 
 func minN(gs []*graphdim.Graph) int {

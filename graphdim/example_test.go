@@ -2,6 +2,7 @@ package graphdim_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 
@@ -22,12 +23,67 @@ func Example() {
 		panic(err)
 	}
 	// Query with a database graph: it is its own nearest neighbour.
-	results, err := idx.TopK(db[5], 1)
+	res, err := idx.Search(context.Background(), db[5], graphdim.SearchOptions{K: 1})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(results[0].Distance == 0)
+	fmt.Println(res.Results[0].Distance == 0)
 	// Output: true
+}
+
+// ExampleIndex_Search shows the per-query dials: the verified engine
+// re-ranks mapped-space candidates by exact MCS dissimilarity, and a
+// predicate restricts the search to a subset of the database.
+func ExampleIndex_Search() {
+	db := dataset.Chemical(dataset.ChemConfig{N: 30, MinVertices: 8, MaxVertices: 12, Seed: 4})
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 15, Tau: 0.15, MCSBudget: 2000})
+	if err != nil {
+		panic(err)
+	}
+	res, err := idx.Search(context.Background(), db[5], graphdim.SearchOptions{
+		K:            3,
+		Engine:       graphdim.EngineVerified,
+		VerifyFactor: 4, // verify the best 4·3 mapped-space candidates
+		Predicate: func(id int, g *graphdim.Graph) bool {
+			return id != 5 // everything but the query itself
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Engine)
+	fmt.Println(len(res.Results) == 3)
+	for _, r := range res.Results {
+		if r.ID == 5 {
+			fmt.Println("predicate violated")
+		}
+	}
+	// Output:
+	// verified
+	// true
+}
+
+// ExampleIndex_Add grows a built index online: new graphs are mapped onto
+// the fixed dimension set with a cheap VF2 pass — no re-mining, no DSPM
+// re-run — and become searchable immediately.
+func ExampleIndex_Add() {
+	all := dataset.Chemical(dataset.ChemConfig{N: 32, MinVertices: 8, MaxVertices: 12, Seed: 4})
+	db, extra := all[:30], all[30:]
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 15, Tau: 0.15, MCSBudget: 2000})
+	if err != nil {
+		panic(err)
+	}
+	ids, err := idx.Add(extra...)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ids)
+	fmt.Println(idx.Size())
+	fmt.Printf("%.3f\n", idx.StaleRatio())
+	// Output:
+	// [30 31]
+	// 32
+	// 0.062
 }
 
 // ExampleIndex_TopKBatch answers a batch of queries in one call, fanning

@@ -15,19 +15,33 @@
 //
 //	db, _ := graphdim.ReadGraphs(f)
 //	idx, _ := graphdim.Build(db, graphdim.Options{Dimensions: 200})
-//	results, _ := idx.TopK(query, 10)
+//	res, _ := idx.Search(ctx, query, graphdim.SearchOptions{K: 10})
 //
-// Build parallelizes the offline path (mining, the pairwise MCS matrix,
-// vector materialization) across Options.Workers goroutines, defaulting
-// to one per CPU. The returned Index is immutable and safe for concurrent
-// readers; TopKBatch fans a query batch across the same worker bound, and
-// WriteTo/ReadIndex persist an index so query servers (cmd/gserve) can
-// load it without re-mining or re-running DSPM.
+// Search unifies the three query engines — the paper's mapped-space scan,
+// the filter-and-verify hybrid, and exact MCS search — behind per-query
+// options (engine, verification factor, metric override, result
+// predicate) and honours context cancellation. BuildContext parallelizes
+// the offline path (mining, the pairwise MCS matrix, vector
+// materialization) across Options.Workers goroutines, reports progress
+// per stage, and is cancellable.
+//
+// The paper's DS-preserved mapping places unseen graphs into the fixed
+// dimension space with a cheap VF2 pass, so an index can also grow
+// online: Add maps new graphs onto the existing dimensions, Remove
+// tombstones graphs, and StaleRatio tells operators when enough of the
+// database postdates the dimension selection that a full re-Build is
+// warranted. Readers are never blocked — updates swap an immutable
+// snapshot. WriteTo/ReadIndex persist an index in a compact versioned
+// binary format (v1 JSON files remain readable) so query servers
+// (cmd/gserve) can load it without re-mining or re-running DSPM.
 package graphdim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -35,7 +49,6 @@ import (
 	"repro/internal/mcs"
 	"repro/internal/pool"
 	"repro/internal/subiso"
-	"repro/internal/topk"
 	"repro/internal/vecspace"
 )
 
@@ -83,13 +96,48 @@ const (
 	DSPMap
 )
 
-// Options configures Build.
+// BuildStage identifies a stage of the offline build pipeline, in
+// execution order.
+type BuildStage int
+
+const (
+	// StageMining is frequent-subgraph candidate mining (gSpan).
+	StageMining BuildStage = iota
+	// StageMatrix is the pairwise MCS dissimilarity matrix (DSPM only —
+	// DSPMap evaluates dissimilarities lazily inside partitions).
+	StageMatrix
+	// StageDSPM is the dimension computation (DSPM iterations or the
+	// DSPMap partition/combine recursion).
+	StageDSPM
+	// StageVectors is the materialization of the database's binary
+	// vectors over the selected dimensions.
+	StageVectors
+)
+
+// String implements fmt.Stringer.
+func (s BuildStage) String() string {
+	switch s {
+	case StageMining:
+		return "mining"
+	case StageMatrix:
+		return "matrix"
+	case StageDSPM:
+		return "dspm"
+	case StageVectors:
+		return "vectors"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Options configures Build. The zero value of every field selects the
+// paper's default (noted per field); Validate rejects values outside a
+// field's domain instead of silently substituting the default.
 type Options struct {
 	// Dimensions is p, the number of subgraph dimensions to select.
 	// Zero means 200 (a mid-range value from the paper's sweep).
 	Dimensions int
-	// Tau is the minimum-support ratio for frequent subgraph mining;
-	// zero means 0.05, the paper's setting.
+	// Tau is the minimum-support ratio for frequent subgraph mining, in
+	// (0, 1]; zero means 0.05, the paper's setting.
 	Tau float64
 	// MaxPatternEdges caps mined subgraph size; zero means 6.
 	MaxPatternEdges int
@@ -110,7 +158,7 @@ type Options struct {
 	Iterations int
 	// Workers bounds the worker pools used by the offline build path
 	// (gSpan mining, the DSPM pairwise MCS matrix, vector
-	// materialization) and inherited by the index for TopKBatch fan-out.
+	// materialization) and inherited by the index for batch fan-out.
 	// Zero or negative means one worker per CPU. Build output is
 	// identical for every worker count — parallelism changes only
 	// wall-clock time. Note the DSPMap algorithm evaluates its
@@ -118,6 +166,51 @@ type Options struct {
 	// Workers accelerates only its mining and vector stages; the
 	// MCS-dominated stage Workers speeds up most is DSPM's matrix.
 	Workers int
+	// Progress, when non-nil, is called as the build advances: at the
+	// start of each stage with (stage, 0, total) and at its end with
+	// (stage, total, total), plus per-unit updates where the stage has
+	// natural units (matrix rows, DSPM iterations). total is 0 when the
+	// stage's size is unknown up front (mining, DSPMap dimension
+	// computation). Calls are serialized; the callback must be fast, as
+	// it runs on the build path.
+	Progress func(stage BuildStage, done, total int)
+}
+
+// Validate reports whether every option is inside its domain. Zero values
+// are always valid ("use the paper default"); out-of-domain values — a
+// negative dimension count, Tau outside (0, 1], a negative budget — are
+// rejected rather than silently replaced.
+func (o Options) Validate() error {
+	if o.Dimensions < 0 {
+		return fmt.Errorf("graphdim: Dimensions must be >= 0 (0 = default 200), got %d", o.Dimensions)
+	}
+	// Negated comparison so NaN (for which every comparison is false)
+	// is rejected too.
+	if !(o.Tau >= 0 && o.Tau <= 1) {
+		return fmt.Errorf("graphdim: Tau must be in (0, 1] (0 = default 0.05), got %v", o.Tau)
+	}
+	if o.MaxPatternEdges < 0 {
+		return fmt.Errorf("graphdim: MaxPatternEdges must be >= 0 (0 = default 6), got %d", o.MaxPatternEdges)
+	}
+	if o.MaxCandidates < 0 {
+		return fmt.Errorf("graphdim: MaxCandidates must be >= 0 (0 = unlimited), got %d", o.MaxCandidates)
+	}
+	if o.Metric != Delta1 && o.Metric != Delta2 {
+		return fmt.Errorf("graphdim: unknown metric %d", int(o.Metric))
+	}
+	if o.Algorithm != DSPM && o.Algorithm != DSPMap {
+		return fmt.Errorf("graphdim: unknown algorithm %d", int(o.Algorithm))
+	}
+	if o.PartitionSize < 0 {
+		return fmt.Errorf("graphdim: PartitionSize must be >= 0 (0 = default max(20, n/20)), got %d", o.PartitionSize)
+	}
+	if o.MCSBudget < 0 {
+		return fmt.Errorf("graphdim: MCSBudget must be >= 0 (0 = default 200000), got %d", o.MCSBudget)
+	}
+	if o.Iterations < 0 {
+		return fmt.Errorf("graphdim: Iterations must be >= 0 (0 = default 30), got %d", o.Iterations)
+	}
+	return nil
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -143,48 +236,121 @@ func (o Options) withDefaults(n int) Options {
 	return o
 }
 
+// snapshot is the immutable state a query reads: the database graphs,
+// their binary vectors over the index dimensions, and the tombstone set.
+// Updates (Add/Remove) never mutate a published snapshot — they copy,
+// then atomically swap — so any number of readers proceed lock-free while
+// writers are serialized by Index.mu.
+type snapshot struct {
+	db        []*Graph
+	vectors   []*vecspace.BitVector
+	dead      []bool
+	deadCount int
+	// baseN is how many of the graphs were part of the database the
+	// dimension selection (Build) or persisted file saw; ids >= baseN
+	// entered through Add. baseDead counts the tombstoned ids below
+	// baseN. StaleRatio derives from both.
+	baseN    int
+	baseDead int
+}
+
+// alive adapts the snapshot's tombstones plus an optional caller
+// predicate into the scan filter the query engines take.
+func (s *snapshot) alive(pred func(id int, g *Graph) bool) func(int) bool {
+	if s.deadCount == 0 && pred == nil {
+		return nil
+	}
+	return func(id int) bool {
+		return !s.dead[id] && (pred == nil || pred(id, s.db[id]))
+	}
+}
+
 // Index is a built graph-dimension index over a database: the selected
-// subgraph dimensions and the database's binary vectors. It answers top-k
-// similarity queries with a feature-matching step (VF2) plus a linear
-// scan of the vector space.
+// subgraph dimensions, the database graphs, and their binary vectors. It
+// answers top-k similarity queries with a feature-matching step (VF2)
+// plus a scan of the vector space, optionally re-ranked by exact MCS
+// verification (see Search).
 //
-// An Index is immutable once returned by Build or ReadIndex and is safe
-// for any number of concurrent readers: TopK, TopKBatch, TopKExact,
-// Dissimilarity and all accessors may be called from multiple goroutines
-// without external locking. Every query allocates its own matcher and
-// ranking state; the shared fields (graphs, features, bit vectors,
-// weights) are only ever read.
+// An Index is safe for any number of concurrent readers and writers
+// without external locking: queries and accessors read an immutable
+// snapshot, and Add/Remove publish a new snapshot atomically
+// (copy-on-write), so long-running scans keep seeing the state they
+// started on. The dimension set is fixed at Build time and never changes;
+// only the database below it grows and shrinks.
 type Index struct {
-	db       []*Graph
 	features []*Graph
 	mapper   *vecspace.Mapper
-	vectors  []*vecspace.BitVector
+	weights  []float64
 	metric   Metric
 	mcsOpt   mcs.Options
-	weights  []float64
-	workers  int // TopKBatch fan-out bound; always >= 1
+	workers  int // batch fan-out bound; always >= 1
+
+	mu   sync.Mutex // serializes Add/Remove snapshot swaps
+	snap atomic.Pointer[snapshot]
+}
+
+func newIndex(features []*Graph, weights []float64, metric Metric, mcsOpt mcs.Options, workers int, snap *snapshot) *Index {
+	ix := &Index{
+		features: features,
+		mapper:   vecspace.NewMapper(features),
+		weights:  weights,
+		metric:   metric,
+		mcsOpt:   mcsOpt,
+		workers:  workers,
+	}
+	ix.snap.Store(snap)
+	return ix
 }
 
 // Build mines frequent subgraphs from db, selects the dimension set with
-// DSPM or DSPMap, and maps the database into the resulting space.
+// DSPM or DSPMap, and maps the database into the resulting space. It is
+// BuildContext with a background context.
 func Build(db []*Graph, opt Options) (*Index, error) {
+	return BuildContext(context.Background(), db, opt)
+}
+
+// BuildContext is Build with cancellation: every stage of the offline
+// pipeline (mining, the pairwise MCS matrix, the DSPM/DSPMap dimension
+// computation, vector materialization) checks ctx and a cancelled build
+// returns (nil, ctx.Err()) promptly instead of running to completion.
+func BuildContext(ctx context.Context, db []*Graph, opt Options) (*Index, error) {
 	if len(db) < 2 {
 		return nil, fmt.Errorf("graphdim: need at least 2 graphs, got %d", len(db))
 	}
+	for i, g := range db {
+		if g == nil {
+			return nil, fmt.Errorf("graphdim: nil graph at index %d", i)
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(len(db))
+	progress := opt.Progress
+	report := func(stage BuildStage, done, total int) {
+		if progress != nil {
+			progress(stage, done, total)
+		}
+	}
 
-	feats, err := gspan.Mine(db, gspan.Options{
+	report(StageMining, 0, 0)
+	feats, err := gspan.MineContext(ctx, db, gspan.Options{
 		MinSupport:  gspan.MinSupportRatio(opt.Tau, len(db)),
 		MaxEdges:    opt.MaxPatternEdges,
 		MaxFeatures: opt.MaxCandidates,
 		Workers:     opt.Workers,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("graphdim: mining candidates: %w", err)
 	}
 	if len(feats) == 0 {
 		return nil, fmt.Errorf("graphdim: no frequent subgraphs at tau=%v", opt.Tau)
 	}
+	report(StageMining, len(feats), len(feats))
+
 	idx := vecspace.BuildIndex(len(db), feats)
 	p := opt.Dimensions
 	if p > idx.P {
@@ -195,22 +361,51 @@ func Build(db []*Graph, opt Options) (*Index, error) {
 	var res *core.Result
 	switch opt.Algorithm {
 	case DSPM:
-		delta := opt.Metric.MatrixWorkers(db, mcsOpt, opt.Workers)
-		res, err = core.DSPM(idx, delta, core.Config{P: p, MaxIter: opt.Iterations})
+		report(StageMatrix, 0, len(db))
+		delta, err := opt.Metric.MatrixContext(ctx, db, mcsOpt, opt.Workers, func(done, total int) {
+			report(StageMatrix, done, total)
+		})
+		if err != nil {
+			return nil, err
+		}
+		iters := opt.Iterations
+		if iters == 0 {
+			iters = core.DefaultMaxIter
+		}
+		report(StageDSPM, 0, iters)
+		res, err = core.DSPMContext(ctx, idx, delta, core.Config{
+			P:       p,
+			MaxIter: opt.Iterations,
+			OnIteration: func(k int, _ float64) {
+				report(StageDSPM, k, iters)
+			},
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("graphdim: dimension computation: %w", err)
+		}
+		// iters was the cap; the run may converge earlier. Close the
+		// stage with the iterations actually executed so done == total.
+		report(StageDSPM, res.Iterations, res.Iterations)
 	case DSPMap:
 		dis := func(i, j int) float64 {
 			return opt.Metric.DissimilarityBudget(db[i], db[j], mcsOpt)
 		}
-		res, err = core.DSPMap(idx, dis, core.MapConfig{
+		report(StageDSPM, 0, 0)
+		res, err = core.DSPMapContext(ctx, idx, dis, core.MapConfig{
 			Core: core.Config{P: p, MaxIter: opt.Iterations},
 			B:    opt.PartitionSize,
 			Seed: opt.Seed,
 		})
-	default:
-		return nil, fmt.Errorf("graphdim: unknown algorithm %d", opt.Algorithm)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("graphdim: dimension computation: %w", err)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("graphdim: dimension computation: %w", err)
+		}
+		report(StageDSPM, 1, 1)
 	}
 
 	features := make([]*Graph, len(res.Selected))
@@ -220,20 +415,21 @@ func Build(db []*Graph, opt Options) (*Index, error) {
 		weights[i] = res.C[r]
 	}
 	sub := idx.Subindex(res.Selected)
+	report(StageVectors, 0, sub.N)
 	vectors := make([]*vecspace.BitVector, sub.N)
-	pool.For(opt.Workers, sub.N, func(i int) {
+	if err := pool.ForContext(ctx, opt.Workers, sub.N, func(i int) {
 		vectors[i] = sub.Vector(i)
-	})
-	return &Index{
-		db:       db,
-		features: features,
-		mapper:   vecspace.NewMapper(features),
-		vectors:  vectors,
-		metric:   opt.Metric,
-		mcsOpt:   mcsOpt,
-		weights:  weights,
-		workers:  opt.Workers,
-	}, nil
+	}); err != nil {
+		return nil, err
+	}
+	report(StageVectors, sub.N, sub.N)
+
+	return newIndex(features, weights, opt.Metric, mcsOpt, opt.Workers, &snapshot{
+		db:      db,
+		vectors: vectors,
+		dead:    make([]bool, len(db)),
+		baseN:   len(db),
+	}), nil
 }
 
 // Dimensions returns the selected subgraph dimensions, most informative
@@ -244,68 +440,77 @@ func (ix *Index) Dimensions() []*Graph { return ix.features }
 // Dimensions.
 func (ix *Index) Weights() []float64 { return ix.weights }
 
-// Size returns the number of indexed graphs.
-func (ix *Index) Size() int { return len(ix.db) }
+// Size returns the number of live (searchable) graphs: every id ever
+// assigned, minus the graphs tombstoned by Remove.
+func (ix *Index) Size() int {
+	s := ix.snap.Load()
+	return len(s.db) - s.deadCount
+}
 
-// Graph returns the i-th indexed graph.
-func (ix *Index) Graph(i int) *Graph { return ix.db[i] }
+// TotalGraphs returns the number of id slots — live graphs plus
+// tombstones. Ids are stable for the lifetime of an index (and across
+// persistence), so valid ids are exactly [0, TotalGraphs()).
+func (ix *Index) TotalGraphs() int { return len(ix.snap.Load().db) }
+
+// Graph returns the graph with id i. Removed graphs remain addressable so
+// historical results can still be resolved; use IsRemoved to check.
+func (ix *Index) Graph(i int) *Graph { return ix.snap.Load().db[i] }
+
+// IsRemoved reports whether id i has been tombstoned by Remove.
+func (ix *Index) IsRemoved(i int) bool { return ix.snap.Load().dead[i] }
 
 // Result is one top-k answer.
 type Result struct {
-	// ID is the database index of the matched graph.
+	// ID is the database id of the matched graph.
 	ID int
-	// Distance is the normalized Euclidean distance in the mapped space
-	// (0 = identical feature profile).
+	// Distance is the score the engine ranked by: the normalized
+	// Euclidean distance in the mapped space for EngineMapped (0 =
+	// identical feature profile), the MCS dissimilarity for
+	// EngineVerified and EngineExact.
 	Distance float64
 }
 
-// TopK answers a top-k similarity query in the mapped space: map q onto
-// the dimensions (VF2 feature matching), then scan the vector database.
+// TopK answers a top-k similarity query in the mapped space.
+//
+// Deprecated: TopK is the v1 entry point, kept so existing callers
+// compile. Use Search, which adds engine selection, cancellation, and
+// richer results.
 func (ix *Index) TopK(q *Graph, k int) ([]Result, error) {
-	if q == nil {
-		return nil, fmt.Errorf("graphdim: nil query")
+	res, err := ix.Search(context.Background(), q, SearchOptions{K: k})
+	if err != nil {
+		return nil, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("graphdim: k must be positive, got %d", k)
+	return res.Results, nil
+}
+
+// TopKBatch answers many top-k queries at once. Result i corresponds to
+// queries[i].
+//
+// Deprecated: TopKBatch is the v1 entry point, kept so existing callers
+// compile. Use SearchBatch.
+func (ix *Index) TopKBatch(queries []*Graph, k int) ([][]Result, error) {
+	batch, err := ix.SearchBatch(context.Background(), queries, SearchOptions{K: k})
+	if err != nil {
+		return nil, err
 	}
-	qv := ix.mapper.Map(q)
-	ranking := topk.Mapped(ix.vectors, qv)
-	if k > len(ranking) {
-		k = len(ranking)
-	}
-	out := make([]Result, k)
-	for i := 0; i < k; i++ {
-		out[i] = Result{ID: ranking[i].ID, Distance: ranking[i].Score}
+	out := make([][]Result, len(batch))
+	for i, res := range batch {
+		out[i] = res.Results
 	}
 	return out, nil
 }
 
-// TopKBatch answers many top-k queries at once, fanning them across the
-// index's worker pool (the Workers value Build was configured with, or
-// one worker per CPU for a loaded index). Result i corresponds to
-// queries[i]. The whole batch is validated up front: a nil query or
-// non-positive k fails the batch before any work is spent, so a partial
-// result is never returned.
-func (ix *Index) TopKBatch(queries []*Graph, k int) ([][]Result, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("graphdim: k must be positive, got %d", k)
+// TopKExact answers the query with the exact MCS-based engine — orders of
+// magnitude slower; intended for ground-truth comparisons.
+//
+// Deprecated: TopKExact is the v1 entry point, kept so existing callers
+// compile. Use Search with Engine: EngineExact.
+func (ix *Index) TopKExact(q *Graph, k int) ([]Result, error) {
+	res, err := ix.Search(context.Background(), q, SearchOptions{K: k, Engine: EngineExact})
+	if err != nil {
+		return nil, err
 	}
-	for i, q := range queries {
-		if q == nil {
-			return nil, fmt.Errorf("graphdim: nil query at index %d", i)
-		}
-	}
-	out := make([][]Result, len(queries))
-	pool.For(ix.queryWorkers(), len(queries), func(i int) {
-		res, err := ix.TopK(queries[i], k)
-		if err != nil {
-			// Unreachable: inputs were validated above and TopK has no
-			// other failure mode. Keep the batch shape regardless.
-			res = nil
-		}
-		out[i] = res
-	})
-	return out, nil
+	return res.Results, nil
 }
 
 func (ix *Index) queryWorkers() int {
@@ -313,26 +518,6 @@ func (ix *Index) queryWorkers() int {
 		return ix.workers
 	}
 	return pool.DefaultWorkers(0)
-}
-
-// TopKExact answers the query with the exact MCS-based engine — orders of
-// magnitude slower; intended for ground-truth comparisons.
-func (ix *Index) TopKExact(q *Graph, k int) ([]Result, error) {
-	if q == nil {
-		return nil, fmt.Errorf("graphdim: nil query")
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("graphdim: k must be positive, got %d", k)
-	}
-	ranking := topk.Exact(ix.db, q, ix.metric, ix.mcsOpt)
-	if k > len(ranking) {
-		k = len(ranking)
-	}
-	out := make([]Result, k)
-	for i := 0; i < k; i++ {
-		out[i] = Result{ID: ranking[i].ID, Distance: ranking[i].Score}
-	}
-	return out, nil
 }
 
 // Dissimilarity computes the exact metric value δ(a, b) — exposed for

@@ -1,0 +1,204 @@
+package graphdim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func buildForPersist(t *testing.T) (*Index, []*Graph) {
+	t.Helper()
+	db := dataset.Chemical(dataset.ChemConfig{N: 30, MinVertices: 8, MaxVertices: 12, Seed: 13})
+	idx, err := Build(db, Options{Dimensions: 12, Tau: 0.15, MCSBudget: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, db
+}
+
+func sameAnswers(t *testing.T, a, b *Index, queries []*Graph) {
+	t.Helper()
+	for qi, q := range queries {
+		ra, err := a.Search(context.Background(), q, SearchOptions{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Search(context.Background(), q, SearchOptions{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra.Results, rb.Results) {
+			t.Fatalf("query %d: answers diverged after persistence:\n%v\n%v", qi, ra.Results, rb.Results)
+		}
+	}
+}
+
+func TestV2RoundTripPreservesState(t *testing.T) {
+	idx, db := buildForPersist(t)
+	extra := dataset.Chemical(dataset.ChemConfig{N: 5, MinVertices: 8, MaxVertices: 12, Seed: 14})
+	if _, err := idx.Add(extra...); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(2, 7, 31); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.TotalGraphs() != idx.TotalGraphs() || loaded.Size() != idx.Size() || loaded.Removed() != idx.Removed() {
+		t.Fatalf("shape changed: Total/Size/Removed %d/%d/%d vs %d/%d/%d",
+			loaded.TotalGraphs(), loaded.Size(), loaded.Removed(),
+			idx.TotalGraphs(), idx.Size(), idx.Removed())
+	}
+	if loaded.StaleRatio() != idx.StaleRatio() {
+		t.Fatalf("StaleRatio changed: %v vs %v", loaded.StaleRatio(), idx.StaleRatio())
+	}
+	if !loaded.IsRemoved(2) || !loaded.IsRemoved(31) || loaded.IsRemoved(3) {
+		t.Fatal("tombstones not preserved")
+	}
+	if !reflect.DeepEqual(loaded.Weights(), idx.Weights()) {
+		t.Fatal("weights changed")
+	}
+	for i, f := range idx.Dimensions() {
+		if loaded.Dimensions()[i].String() != f.String() {
+			t.Fatalf("dimension %d changed", i)
+		}
+	}
+	sameAnswers(t, idx, loaded, db[:5])
+}
+
+// TestV2Deterministic pins the canonical encoding: same state, same
+// bytes. Operators can diff and checksum index files.
+func TestV2Deterministic(t *testing.T) {
+	idx, _ := buildForPersist(t)
+	var a, b bytes.Buffer
+	if _, err := idx.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two WriteTo calls produced different bytes")
+	}
+	// And a load→save cycle reproduces them too.
+	loaded, err := ReadIndex(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if _, err := loaded.WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("load→save changed the encoding")
+	}
+}
+
+func TestV1FilesStillLoad(t *testing.T) {
+	idx, db := buildForPersist(t)
+	var buf bytes.Buffer
+	if err := idx.writeToV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("{")) {
+		t.Fatal("v1 fixture is not JSON")
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("v1 file failed to load: %v", err)
+	}
+	if loaded.Size() != idx.Size() || len(loaded.Dimensions()) != len(idx.Dimensions()) {
+		t.Fatal("v1 load changed shapes")
+	}
+	if loaded.StaleRatio() != 0 || loaded.Removed() != 0 {
+		t.Fatal("v1 load invented tombstones or staleness")
+	}
+	sameAnswers(t, idx, loaded, db[:5])
+
+	// A v1 index keeps working as a v2 citizen: extendable and
+	// re-persistable in the new format.
+	extra := dataset.Chemical(dataset.ChemConfig{N: 2, MinVertices: 8, MaxVertices: 12, Seed: 15})
+	if _, err := loaded.Add(extra...); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if _, err := loaded.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadIndex(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TotalGraphs() != idx.Size()+2 {
+		t.Fatal("v1→v2 migration lost graphs")
+	}
+}
+
+func TestV2RejectsCorruption(t *testing.T) {
+	idx, _ := buildForPersist(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Any single flipped payload byte must fail the checksum (or a
+	// structural check before it). Probe a spread of positions.
+	for _, pos := range []int{8, 9, 20, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[pos] ^= 0x40
+		if _, err := ReadIndex(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("flipped byte %d accepted", pos)
+		}
+	}
+	// Truncations must fail, never hang or panic.
+	for _, cut := range []int{4, 8, 12, len(valid) / 3, len(valid) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(valid[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadIndexRejectsNonIndexInput(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":       "",
+		"text":        "hello world",
+		"bad magic":   "GDIMIDX9everything-else",
+		"json garble": `{"version": 2}`,
+	} {
+		if _, err := ReadIndex(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestV2MuchSmallerThanV1 documents the point of the format change.
+func TestV2MuchSmallerThanV1(t *testing.T) {
+	idx, _ := buildForPersist(t)
+	var v1, v2 bytes.Buffer
+	if err := idx.writeToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len()*2 > v1.Len() {
+		t.Errorf("v2 (%d bytes) is not at least 2x smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+}

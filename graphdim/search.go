@@ -1,0 +1,302 @@
+package graphdim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/topk"
+	"repro/internal/vecspace"
+)
+
+// Engine selects the query engine behind Search — the paper's retrieve /
+// verify split surfaced as a per-query dial.
+type Engine int
+
+const (
+	// EngineMapped is the paper's online path: map the query onto the
+	// dimensions with VF2 feature matching, then scan the vector space by
+	// normalized Euclidean distance. Milliseconds per query; accuracy
+	// comes from the DS-preserved mapping.
+	EngineMapped Engine = iota
+	// EngineVerified retrieves VerifyFactor·K candidates in the mapped
+	// space and re-ranks just those with the exact (budgeted) MCS
+	// dissimilarity — the accuracy/latency dial between the mapped scan
+	// and exact search.
+	EngineVerified
+	// EngineExact ranks the whole database by MCS dissimilarity — orders
+	// of magnitude slower; ground truth.
+	EngineExact
+)
+
+// String implements fmt.Stringer with the names ParseEngine accepts.
+func (e Engine) String() string {
+	switch e {
+	case EngineMapped:
+		return "mapped"
+	case EngineVerified:
+		return "verified"
+	case EngineExact:
+		return "exact"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine converts an engine name ("mapped", "verified", "exact") to
+// its Engine — the inverse of String, used by the HTTP and CLI frontends.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "mapped":
+		return EngineMapped, nil
+	case "verified":
+		return EngineVerified, nil
+	case "exact":
+		return EngineExact, nil
+	}
+	return 0, fmt.Errorf("graphdim: unknown engine %q (want mapped, verified or exact)", s)
+}
+
+// MetricChoice optionally overrides the index's dissimilarity metric for
+// one query. The zero value keeps the metric the index was built with, so
+// SearchOptions{} always means "the index defaults".
+type MetricChoice int
+
+const (
+	// MetricIndexDefault scores with the metric the index was built with.
+	MetricIndexDefault MetricChoice = iota
+	// MetricDelta1 forces Eq. (1), normalization by the larger graph.
+	MetricDelta1
+	// MetricDelta2 forces Eq. (2), normalization by the average size.
+	MetricDelta2
+)
+
+// SearchOptions configures one Search call. Zero values select defaults
+// (noted per field); K is the only required field.
+type SearchOptions struct {
+	// K is the number of results wanted. Required: Validate rejects
+	// K <= 0. Fewer than K results are returned only when the (filtered)
+	// database is smaller than K.
+	K int
+	// Engine picks the query engine; default EngineMapped.
+	Engine Engine
+	// VerifyFactor is EngineVerified's candidate multiplier: the engine
+	// retrieves VerifyFactor·K mapped-space candidates and verifies each
+	// with an MCS search. Zero means 3. Values overshooting the database
+	// degrade to verifying everything (= exact search). Ignored by the
+	// other engines.
+	VerifyFactor int
+	// MaxCandidates caps the number of candidates EngineVerified verifies
+	// regardless of VerifyFactor·K — a hard latency bound, since each
+	// verification is one MCS search. Zero means no cap. Ignored by the
+	// other engines.
+	MaxCandidates int
+	// Metric overrides the dissimilarity metric for EngineVerified and
+	// EngineExact scoring; default MetricIndexDefault (the build-time
+	// metric). EngineMapped ranks by mapped-space distance and ignores it.
+	Metric MetricChoice
+	// Predicate, when non-nil, restricts the search to graphs it admits:
+	// ids failing the predicate are skipped before scoring, so the top-K
+	// is taken over the admitted subset. It is called with the graph's id
+	// and the graph itself; it must be cheap (it runs inside the scan)
+	// and safe for concurrent calls (SearchBatch fans out).
+	Predicate func(id int, g *Graph) bool
+}
+
+// Validate reports whether the options are usable: K must be positive,
+// VerifyFactor and MaxCandidates non-negative, Engine and Metric known
+// values.
+func (o SearchOptions) Validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("graphdim: k must be positive, got %d", o.K)
+	}
+	if o.Engine != EngineMapped && o.Engine != EngineVerified && o.Engine != EngineExact {
+		return fmt.Errorf("graphdim: unknown engine %d", int(o.Engine))
+	}
+	if o.VerifyFactor < 0 {
+		return fmt.Errorf("graphdim: VerifyFactor must be >= 0 (0 = default 3), got %d", o.VerifyFactor)
+	}
+	if o.MaxCandidates < 0 {
+		return fmt.Errorf("graphdim: MaxCandidates must be >= 0 (0 = uncapped), got %d", o.MaxCandidates)
+	}
+	if o.Metric != MetricIndexDefault && o.Metric != MetricDelta1 && o.Metric != MetricDelta2 {
+		return fmt.Errorf("graphdim: unknown metric choice %d", int(o.Metric))
+	}
+	return nil
+}
+
+// DimensionBits is the set of index dimensions a query graph contains —
+// the query's binary vector, exposed read-only. Bit r corresponds to
+// Index.Dimensions()[r].
+type DimensionBits struct {
+	words []uint64
+	n     int
+}
+
+// Len returns the dimensionality p of the space.
+func (b DimensionBits) Len() int { return b.n }
+
+// Contains reports whether dimension r is matched.
+func (b DimensionBits) Contains(r int) bool {
+	if r < 0 || r >= b.n {
+		return false
+	}
+	return b.words[r/64]&(1<<(uint(r)%64)) != 0
+}
+
+// Count returns the number of matched dimensions.
+func (b DimensionBits) Count() int {
+	// Bits at or beyond n are never set (the words come from a
+	// BitVector of dimension n), so a plain popcount is exact.
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Indices returns the matched dimensions in ascending order.
+func (b DimensionBits) Indices() []int {
+	var out []int
+	for r := 0; r < b.n; r++ {
+		if b.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func dimensionBits(v *vecspace.BitVector) DimensionBits {
+	return DimensionBits{
+		words: append([]uint64(nil), v.Words()...),
+		n:     v.Len(),
+	}
+}
+
+// SearchResult is one query's answer plus the metadata a serving layer
+// needs: which engine ran, how much work it did, and how the query landed
+// in the dimension space.
+type SearchResult struct {
+	// Results holds up to K answers, most similar first.
+	Results []Result
+	// Engine is the engine that produced Results.
+	Engine Engine
+	// Candidates is how many graphs the final ranking stage scored: the
+	// admitted scan size for EngineMapped/EngineExact, the number of MCS
+	// verifications for EngineVerified.
+	Candidates int
+	// Matched is the query's binary vector over the index dimensions —
+	// which of Index.Dimensions() the query contains. A query matching
+	// few dimensions carries little signal in the mapped space; serving
+	// layers can use Count() to route such queries to EngineVerified.
+	Matched DimensionBits
+	// Elapsed is the wall-clock time Search spent on this query,
+	// including the VF2 mapping step.
+	Elapsed time.Duration
+}
+
+// Search answers a top-k similarity query with per-query options: engine
+// choice, verification factor, metric override, and a result predicate
+// (see SearchOptions). It reads an immutable snapshot, so a Search
+// observes a consistent database even while Add/Remove run concurrently,
+// and it honours ctx — a cancelled search returns ctx.Err() promptly,
+// which bounds the tail latency of the MCS-based engines.
+func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*SearchResult, error) {
+	start := time.Now()
+	if q == nil {
+		return nil, fmt.Errorf("graphdim: nil query")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+
+	metric := ix.metric
+	switch opt.Metric {
+	case MetricDelta1:
+		metric = Delta1
+	case MetricDelta2:
+		metric = Delta2
+	}
+
+	qv, err := ix.mapper.MapContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+
+	s := ix.snap.Load()
+	alive := s.alive(opt.Predicate)
+	var (
+		ranking    topk.Ranking
+		candidates int
+	)
+	switch opt.Engine {
+	case EngineMapped:
+		ranking, err = topk.MappedContext(ctx, s.vectors, qv, alive)
+		candidates = len(ranking)
+	case EngineVerified:
+		factor := opt.VerifyFactor
+		if factor == 0 {
+			factor = 3
+		}
+		ranking, candidates, err = topk.VerifiedContext(ctx, s.db, s.vectors, q, qv,
+			opt.K, factor, opt.MaxCandidates, metric, ix.mcsOpt, alive)
+	case EngineExact:
+		ranking, err = topk.ExactContext(ctx, s.db, q, metric, ix.mcsOpt, alive)
+		candidates = len(ranking)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	k := opt.K
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	results := make([]Result, k)
+	for i := 0; i < k; i++ {
+		results[i] = Result{ID: ranking[i].ID, Distance: ranking[i].Score}
+	}
+	return &SearchResult{
+		Results:    results,
+		Engine:     opt.Engine,
+		Candidates: candidates,
+		Matched:    dimensionBits(qv),
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// SearchBatch answers many queries with the same options, fanning them
+// across the index's worker pool (the Workers value Build was configured
+// with, or one worker per CPU for a loaded index). Result i corresponds
+// to queries[i]. The batch is validated up front (nil queries, bad
+// options) and fails as a unit: if any query errors — including ctx
+// cancellation — SearchBatch returns the first error in query order and
+// no partial results.
+func (ix *Index) SearchBatch(ctx context.Context, queries []*Graph, opt SearchOptions) ([]*SearchResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	for i, q := range queries {
+		if q == nil {
+			return nil, fmt.Errorf("graphdim: nil query at index %d", i)
+		}
+	}
+	out := make([]*SearchResult, len(queries))
+	errs := make([]error, len(queries))
+	poolErr := pool.ForContext(ctx, ix.queryWorkers(), len(queries), func(i int) {
+		out[i], errs[i] = ix.Search(ctx, queries[i], opt)
+	})
+	// Per-query errors take precedence in query order; a pool-level error
+	// can only be ctx.Err(), which the per-query errors already reflect
+	// for every query that started.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	return out, nil
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -43,14 +44,24 @@ type Config struct {
 	// DenseXbar switches Updatexbar from the IF-list Algorithm 3 to a
 	// dense scan over all graphs — exposed for the ablation bench.
 	DenseXbar bool
+	// OnIteration, when non-nil, is called after every majorization
+	// iteration with the 1-based iteration number and the objective value
+	// it reached — the hook behind build-progress reporting. It is always
+	// called from the goroutine running DSPM.
+	OnIteration func(iteration int, objective float64)
 }
+
+// DefaultMaxIter is the majorization-iteration cap a zero Config.MaxIter
+// resolves to — exported so callers planning progress totals agree with
+// the run.
+const DefaultMaxIter = 30
 
 func (c Config) withDefaults() Config {
 	if c.Epsilon == 0 {
 		c.Epsilon = 1e-4
 	}
 	if c.MaxIter == 0 {
-		c.MaxIter = 30
+		c.MaxIter = DefaultMaxIter
 	}
 	return c
 }
@@ -73,6 +84,13 @@ type Result struct {
 // binary matrix Y via inverted lists) and a full pairwise dissimilarity
 // matrix delta. It returns the weight vector and the selected dimensions.
 func DSPM(idx *vecspace.Index, delta [][]float64, cfg Config) (*Result, error) {
+	return DSPMContext(context.Background(), idx, delta, cfg)
+}
+
+// DSPMContext is DSPM with cancellation: ctx is checked before every
+// majorization iteration (each iteration is O(n²) pair distances), and a
+// cancelled run returns (nil, ctx.Err()) rather than a partial result.
+func DSPMContext(ctx context.Context, idx *vecspace.Index, delta [][]float64, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	n, m := idx.N, idx.P
 	if n == 0 || m == 0 {
@@ -96,11 +114,17 @@ func DSPM(idx *vecspace.Index, delta [][]float64, cfg Config) (*Result, error) {
 	cur := s.computeObj()
 	res.Objectives = append(res.Objectives, cur)
 	for k := 1; prev-cur > cfg.Epsilon && k <= cfg.MaxIter; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		xbar := s.updateXbar()
 		s.c = s.updateC(xbar)
 		prev, cur = cur, s.computeObj()
 		res.Objectives = append(res.Objectives, cur)
 		res.Iterations = k
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(k, cur)
+		}
 	}
 
 	res.C = append([]float64(nil), s.c...)

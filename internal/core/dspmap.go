@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -36,6 +37,13 @@ type MapConfig struct {
 // DSPM weight vectors (Algorithm 6). The result's C accumulates the
 // sub-run weights; Selected is the final top-p dimension set.
 func DSPMap(idx *vecspace.Index, dis Dissim, cfg MapConfig) (*Result, error) {
+	return DSPMapContext(context.Background(), idx, dis, cfg)
+}
+
+// DSPMapContext is DSPMap with cancellation: ctx is checked between
+// dissimilarity evaluations (the dominant cost) and between the recursive
+// combine steps, and a cancelled run returns (nil, ctx.Err()).
+func DSPMapContext(ctx context.Context, idx *vecspace.Index, dis Dissim, cfg MapConfig) (*Result, error) {
 	if cfg.B < 2 {
 		return nil, fmt.Errorf("core: DSPMap partition size B=%d, want >= 2", cfg.B)
 	}
@@ -50,7 +58,7 @@ func DSPMap(idx *vecspace.Index, dis Dissim, cfg MapConfig) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	d := &dspmap{idx: idx, dis: dis, cfg: cfg, rng: rng}
+	d := &dspmap{ctx: ctx, idx: idx, dis: dis, cfg: cfg, rng: rng}
 	all := make([]int, idx.N)
 	for i := range all {
 		all[i] = i
@@ -67,6 +75,11 @@ func DSPMap(idx *vecspace.Index, dis Dissim, cfg MapConfig) (*Result, error) {
 		parts = d.partition(all)
 	}
 	c := d.computeC(parts)
+	if err := ctx.Err(); err != nil {
+		// A cancelled run unwinds through computeC with zeroed partial
+		// weights; discard them.
+		return nil, err
+	}
 
 	return &Result{
 		C:        c,
@@ -75,6 +88,7 @@ func DSPMap(idx *vecspace.Index, dis Dissim, cfg MapConfig) (*Result, error) {
 }
 
 type dspmap struct {
+	ctx     context.Context
 	idx     *vecspace.Index
 	dis     Dissim
 	cfg     MapConfig
@@ -257,7 +271,7 @@ func (d *dspmap) computeC(parts [][]int) []float64 {
 // and scatters the local weights back into a global-length vector.
 func (d *dspmap) runDSPM(ids []int) []float64 {
 	c := make([]float64, d.idx.P)
-	if len(ids) < 2 {
+	if len(ids) < 2 || d.ctx.Err() != nil {
 		return c
 	}
 	pos := make(map[int]int, len(ids))
@@ -297,6 +311,9 @@ func (d *dspmap) runDSPM(ids []int) []float64 {
 		delta[i] = make([]float64, len(ids))
 	}
 	for i := 0; i < len(ids); i++ {
+		if d.ctx.Err() != nil {
+			return c
+		}
 		for j := i + 1; j < len(ids); j++ {
 			v := d.dis(ids[i], ids[j])
 			delta[i][j] = v
@@ -309,8 +326,11 @@ func (d *dspmap) runDSPM(ids []int) []float64 {
 	}
 	sub := d.cfg.Core
 	sub.P = p
-	res, err := DSPM(local, delta, sub)
+	res, err := DSPMContext(d.ctx, local, delta, sub)
 	if err != nil {
+		if d.ctx.Err() != nil {
+			return c
+		}
 		// Restricted problems are non-empty by construction; an error here
 		// is a programming bug, not a data condition.
 		panic(fmt.Sprintf("core: restricted DSPM failed: %v", err))

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// equalGraphs compares two graphs structurally: vertex count, labels in
+// id order, and the normalized sorted edge lists.
+func equalGraphs(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.VertexLabel(v) != b.VertexLabel(v) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+func sampleGraphs() []*Graph {
+	empty := &Graph{}
+	single := &Graph{}
+	single.AddVertex(7)
+
+	negLabels := &Graph{}
+	negLabels.AddVertex(-1)
+	negLabels.AddVertex(math.MinInt32)
+	negLabels.AddVertex(math.MaxInt32)
+	negLabels.MustAddEdge(0, 1, -42)
+	negLabels.MustAddEdge(1, 2, 0)
+
+	triangle := New(3)
+	triangle.MustAddEdge(0, 1, 1)
+	triangle.MustAddEdge(1, 2, 2)
+	triangle.MustAddEdge(0, 2, 3)
+
+	return []*Graph{empty, single, negLabels, triangle}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for i, g := range sampleGraphs() {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := WriteBinary(w, g); err != nil {
+			t.Fatalf("graph %d: WriteBinary: %v", i, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("graph %d: ReadBinary: %v", i, err)
+		}
+		if !equalGraphs(g, got) {
+			t.Errorf("graph %d: round trip changed the graph:\nin:\n%s\nout:\n%s", i, g, got)
+		}
+	}
+}
+
+func TestBinaryCanonical(t *testing.T) {
+	// encode → decode → encode must be byte-identical (Edges() sorts).
+	for i, g := range sampleGraphs() {
+		var a bytes.Buffer
+		w := bufio.NewWriter(&a)
+		if err := WriteBinary(w, g); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		g2, err := ReadBinary(bufio.NewReader(bytes.NewReader(a.Bytes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		w = bufio.NewWriter(&b)
+		if err := WriteBinary(w, g2); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("graph %d: re-encoding is not canonical", i)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		g := New(2)
+		g.MustAddEdge(0, 1, 5)
+		if err := WriteBinary(w, g); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		return buf.Bytes()
+	}()
+
+	cases := map[string][]byte{
+		"empty input":     {},
+		"truncated":       valid[:len(valid)-1],
+		"huge count":      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"edge to missing": {1, 0, 1, 0, 2, 0}, // 1 vertex, edge 0-1 out of range
+		"self loop":       {2, 0, 0, 1, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bufio.NewReader(bytes.NewReader(data))); err == nil {
+			t.Errorf("%s: ReadBinary accepted corrupt input", name)
+		}
+	}
+}
+
+func TestBinaryTruncationIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	g := New(3)
+	g.MustAddEdge(0, 2, 9)
+	if err := WriteBinary(w, g); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	// Every strict prefix must fail — and never with a bare io.EOF, which
+	// callers of the persistence layer treat as clean end-of-stream.
+	for cut := 1; cut < len(data); cut++ {
+		_, err := ReadBinary(bufio.NewReader(bytes.NewReader(data[:cut])))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(data))
+		}
+		if err == io.EOF {
+			t.Fatalf("prefix of %d/%d bytes returned bare io.EOF", cut, len(data))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTextRoundTrip feeds arbitrary bytes through the text-format parser;
+// whatever parses must survive a write→re-read round trip unchanged. This
+// pins down the parser/printer pair: WriteAll must emit every structural
+// fact ReadAll accepts (labels, edge order, multiple graphs), and ReadAll
+// must accept everything WriteAll emits.
+func FuzzTextRoundTrip(f *testing.F) {
+	f.Add("t # 0\nv 0 1\nv 1 2\ne 0 1 3\n")
+	f.Add("t # a b c\nv 0 0\n\n% comment\n// comment\nt # 1\nv 0 5\n")
+	f.Add("t # 0\nv 0 -7\nv 1 2147483647\ne 0 1 -1\n")
+	f.Add("")
+	f.Add("t\nt\nt\n")
+	f.Add("e 0 1 2\n")
+	f.Add("v 0 0\n")
+	f.Add("t # 0\nv 0 1\ne 0 0 1\n")
+	f.Add("t # 0\nv 1 1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		gs, err := ReadAll(strings.NewReader(data))
+		if err != nil {
+			// Invalid input is fine; the property under test is only that
+			// valid input round-trips.
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, gs); err != nil {
+			t.Fatalf("WriteAll failed on parsed graphs: %v", err)
+		}
+		gs2, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written output failed: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		if len(gs) != len(gs2) {
+			t.Fatalf("round trip changed graph count: %d -> %d", len(gs), len(gs2))
+		}
+		for i := range gs {
+			if !equalGraphs(gs[i], gs2[i]) {
+				t.Fatalf("round trip changed graph %d:\nin:\n%s\nout:\n%s", i, gs[i], gs2[i])
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package gspan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,14 +62,25 @@ func MinSupportRatio(tau float64, n int) int {
 // Mine returns all frequent connected subgraphs of db with at least
 // opt.MinSupport supporting graphs, each with its support set.
 func Mine(db []*graph.Graph, opt Options) ([]*Feature, error) {
+	return MineContext(context.Background(), db, opt)
+}
+
+// MineContext is Mine with cancellation: the DFS-code walk checks ctx at
+// every pattern node (sequential mining) or subtree boundary (parallel
+// mining) and returns (nil, ctx.Err()) once ctx is done, discarding any
+// partial pattern set.
+func MineContext(ctx context.Context, db []*graph.Graph, opt Options) ([]*Feature, error) {
 	if opt.MinSupport < 1 {
 		return nil, fmt.Errorf("gspan: MinSupport must be >= 1, got %d", opt.MinSupport)
 	}
 	if len(db) == 0 {
 		return nil, fmt.Errorf("gspan: empty database")
 	}
-	m := &miner{db: makeMineGraphs(db), opt: opt}
+	m := &miner{ctx: ctx, db: makeMineGraphs(db), opt: opt}
 	m.run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return m.out, nil
 }
 
@@ -161,11 +173,12 @@ func buildHistory(p *pdfs) *history {
 }
 
 type miner struct {
+	ctx  context.Context
 	db   []*mineGraph
 	opt  Options
 	code dfsCode
 	out  []*Feature
-	done bool // MaxFeatures reached
+	done bool // MaxFeatures reached or ctx cancelled
 }
 
 // key types for grouping extensions.
@@ -245,6 +258,7 @@ func (m *miner) run() {
 	pool.For(workers, len(frequent), func(i int) {
 		k := frequent[i]
 		sub := &miner{
+			ctx:  m.ctx,
 			db:   m.db,
 			opt:  m.opt,
 			code: dfsCode{{from: 0, to: 1, fromLabel: k.fromLabel, eLabel: k.eLabel, toLabel: k.toLabel}},
@@ -261,6 +275,11 @@ func (m *miner) run() {
 // rightmost path (the core gSpan step).
 func (m *miner) grow(p projected) {
 	if m.done {
+		return
+	}
+	if m.ctx != nil && m.ctx.Err() != nil {
+		// Cancelled: unwind the whole DFS; MineContext discards out.
+		m.done = true
 		return
 	}
 	if !isMin(m.code) {

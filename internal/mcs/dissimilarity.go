@@ -1,6 +1,9 @@
 package mcs
 
 import (
+	"context"
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/pool"
 )
@@ -77,23 +80,54 @@ func (m Metric) Matrix(db []*graph.Graph, opt Options) [][]float64 {
 // each MCS search is independent, so the result is identical to Matrix
 // for every worker count.
 func (m Metric) MatrixWorkers(db []*graph.Graph, opt Options, workers int) [][]float64 {
+	d, _ := m.MatrixContext(context.Background(), db, opt, workers, nil)
+	return d
+}
+
+// MatrixContext is MatrixWorkers with cancellation and optional progress.
+// Workers stop picking up new rows once ctx is done and the partial matrix
+// is discarded (nil, ctx.Err()). Each MCS pair also checks ctx, so a
+// cancelled call returns after at most one in-flight MCS search per
+// worker. progress, when non-nil, is called after each completed row with
+// (rowsDone, totalRows); calls are serialized, so the callback needs no
+// locking of its own.
+func (m Metric) MatrixContext(ctx context.Context, db []*graph.Graph, opt Options, workers int,
+	progress func(done, total int)) ([][]float64, error) {
 	n := len(db)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
+	var (
+		rowsDone   int
+		progressMu sync.Mutex
+	)
 	// Parallelize over rows; row i owns pairs (i, i+1..n-1). Rows shrink
 	// toward the end, but the pool hands out indices dynamically so the
 	// imbalance costs at most one row's latency.
-	pool.For(pool.DefaultWorkers(workers), n, func(i int) {
+	err := pool.ForContext(ctx, pool.DefaultWorkers(workers), n, func(i int) {
 		for j := i + 1; j < n; j++ {
+			if ctx.Err() != nil {
+				return
+			}
 			d[i][j] = m.DissimilarityBudget(db[i], db[j], opt)
 		}
+		if progress != nil {
+			// Count under the same mutex that serializes the callback so
+			// reported counts are monotone.
+			progressMu.Lock()
+			rowsDone++
+			progress(rowsDone, n)
+			progressMu.Unlock()
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {
 			d[i][j] = d[j][i]
 		}
 	}
-	return d
+	return d, nil
 }

@@ -7,6 +7,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -27,17 +28,31 @@ func DefaultWorkers(n int) int {
 // call concurrently for distinct i; For returns only after every call has
 // finished.
 func For(workers, n int, fn func(i int)) {
+	// context.Background() is never cancelled, so the error is always nil.
+	_ = ForContext(context.Background(), workers, n, fn)
+}
+
+// ForContext is For with cancellation: it stops handing out new indices
+// once ctx is done and returns ctx.Err(). In-flight fn calls always run to
+// completion — ForContext returns only after every started call has
+// finished, so callers may free or reuse shared state as soon as it
+// returns. A nil return guarantees fn ran for every i in [0, n);
+// a non-nil return means some suffix of the range was skipped.
+func ForContext(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	// Atomic-free striding would unbalance irregular work (MCS searches
 	// vary by orders of magnitude per pair), so hand out indices through a
@@ -47,15 +62,33 @@ func For(workers, n int, fn func(i int)) {
 		idx <- i
 	}
 	close(idx)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				fn(i)
+			for {
+				select {
+				case <-done:
+					return
+				case i, ok := <-idx:
+					if !ok {
+						return
+					}
+					// select chooses randomly when both channels are
+					// ready; re-check done so cancellation wins
+					// deterministically once observed.
+					select {
+					case <-done:
+						return
+					default:
+					}
+					fn(i)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,8 +1,11 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForCoversRangeExactlyOnce(t *testing.T) {
@@ -24,6 +27,77 @@ func TestForEmptyRange(t *testing.T) {
 	For(4, -3, func(int) { called = true })
 	if called {
 		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForContextCompletesWhenNotCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 50
+		counts := make([]int32, n)
+		err := ForContext(context.Background(), workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForContextCancelSkipsSuffix(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		const n = 10000
+		err := ForContext(ctx, workers, n, func(i int) {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Cancellation mid-range must skip work: in-flight calls finish
+		// (up to one per worker) but the bulk of the range is never run.
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d indices ran despite cancellation", workers, got)
+		}
+	}
+}
+
+func TestForContextPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForContext(ctx, 4, 100, func(int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The select may race one index per worker, but a pre-cancelled context
+	// must not run the whole range.
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d calls ran with a pre-cancelled context", got)
+	}
+}
+
+func TestForContextWaitsForInFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var inFlight, finished atomic.Int32
+	err := ForContext(ctx, 4, 64, func(i int) {
+		inFlight.Add(1)
+		cancel()
+		time.Sleep(time.Millisecond)
+		finished.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inFlight.Load() != finished.Load() {
+		t.Fatalf("ForContext returned with %d of %d calls unfinished",
+			inFlight.Load()-finished.Load(), inFlight.Load())
 	}
 }
 

@@ -7,6 +7,7 @@
 package topk
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
@@ -59,29 +60,70 @@ func sortItems(items []Item) {
 	})
 }
 
+// Alive filters a scan to a subset of the database: ids for which it
+// returns false are skipped entirely (tombstoned graphs, caller
+// predicates). A nil Alive admits every id.
+type Alive func(id int) bool
+
+func admits(alive Alive, id int) bool { return alive == nil || alive(id) }
+
 // Exact ranks the database for query q by the MCS dissimilarity metric —
 // the ground-truth engine. opt bounds each MCS search (Options{} = fully
 // exact).
 func Exact(db []*graph.Graph, q *graph.Graph, metric mcs.Metric, opt mcs.Options) Ranking {
-	items := make([]Item, len(db))
+	r, _ := ExactContext(context.Background(), db, q, metric, opt, nil)
+	return r
+}
+
+// ExactContext is Exact restricted to the ids admitted by alive, with
+// cancellation checked before each MCS search (the expensive unit).
+func ExactContext(ctx context.Context, db []*graph.Graph, q *graph.Graph, metric mcs.Metric,
+	opt mcs.Options, alive Alive) (Ranking, error) {
+	items := make([]Item, 0, len(db))
 	for i, g := range db {
-		items[i] = Item{ID: i, Score: metric.DissimilarityBudget(q, g, opt)}
+		if !admits(alive, i) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		items = append(items, Item{ID: i, Score: metric.DissimilarityBudget(q, g, opt)})
 	}
 	sortItems(items)
-	return items
+	return items, nil
 }
 
 // Mapped ranks the database by normalized Euclidean distance between
 // binary feature vectors — the paper's online query path: map the query
 // with VF2 feature matching, then scan the vector database.
 func Mapped(dbVectors []*vecspace.BitVector, qv *vecspace.BitVector) Ranking {
-	items := make([]Item, len(dbVectors))
+	r, _ := MappedContext(context.Background(), dbVectors, qv, nil)
+	return r
+}
+
+// MappedContext is Mapped restricted to the ids admitted by alive. The
+// scan is pure bit arithmetic, so cancellation is only checked every
+// mappedCtxStride vectors — prompt enough for multi-million-graph scans
+// without a per-vector atomic load.
+func MappedContext(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vecspace.BitVector,
+	alive Alive) (Ranking, error) {
+	items := make([]Item, 0, len(dbVectors))
 	for i, v := range dbVectors {
-		items[i] = Item{ID: i, Score: qv.Distance(v)}
+		if i%mappedCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !admits(alive, i) {
+			continue
+		}
+		items = append(items, Item{ID: i, Score: qv.Distance(v)})
 	}
 	sortItems(items)
-	return items
+	return items, nil
 }
+
+const mappedCtxStride = 4096
 
 // Tanimoto ranks the database by descending Tanimoto similarity of
 // fingerprints — the PubChem-style benchmark engine. Scores are stored as

@@ -1,6 +1,8 @@
 package topk
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/mcs"
 	"repro/internal/vecspace"
@@ -15,19 +17,58 @@ import (
 // EXPERIMENTS.md.
 func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph, qv *vecspace.BitVector,
 	k, factor int, metric mcs.Metric, opt mcs.Options) Ranking {
+	r, _, _ := VerifiedContext(context.Background(), db, dbVectors, q, qv, k, factor, 0, metric, opt, nil)
+	return r
+}
+
+// VerifiedContext is Verified with cancellation, an optional liveness
+// filter, and an optional cap on the number of candidates verified
+// (maxCandidates <= 0 means uncapped). The candidate count factor·k is
+// computed in 64-bit arithmetic and clamped to the admitted database
+// size, so a factor "overflowing" the database — or int range — degrades
+// to verifying every admitted graph rather than panicking. ctx is checked
+// before each MCS verification. The second return value is the number of
+// candidates verified with an MCS search.
+func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspace.BitVector,
+	q *graph.Graph, qv *vecspace.BitVector, k, factor, maxCandidates int,
+	metric mcs.Metric, opt mcs.Options, alive Alive) (Ranking, int, error) {
+	if k <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return Ranking{}, 0, nil
+	}
 	if factor < 1 {
 		factor = 1
 	}
-	cands := Mapped(dbVectors, qv).TopK(k * factor)
+	retrieved, err := MappedContext(ctx, dbVectors, qv, alive)
+	if err != nil {
+		return nil, 0, err
+	}
+	want := int64(k) * int64(factor)
+	if want/int64(k) != int64(factor) {
+		// int64 overflow: both operands are huge; every candidate wins.
+		want = int64(len(retrieved))
+	}
+	if maxCandidates > 0 && want > int64(maxCandidates) {
+		want = int64(maxCandidates)
+	}
+	if want > int64(len(retrieved)) {
+		want = int64(len(retrieved))
+	}
+	cands := retrieved.TopK(int(want))
 	items := make([]Item, len(cands))
 	for i, id := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		items[i] = Item{ID: id, Score: metric.DissimilarityBudget(q, db[id], opt)}
 	}
 	sortItems(items)
 	if len(items) > k {
 		items = items[:k]
 	}
-	return items
+	return items, len(cands), nil
 }
 
 // Similarity ranks the database by any symmetric similarity function

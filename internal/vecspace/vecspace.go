@@ -6,6 +6,7 @@
 package vecspace
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -34,6 +35,20 @@ func (v *BitVector) Set(r int) { v.bits[r/64] |= 1 << (uint(r) % 64) }
 
 // Get reports bit r.
 func (v *BitVector) Get(r int) bool { return v.bits[r/64]&(1<<(uint(r)%64)) != 0 }
+
+// Words returns the packed 64-bit words backing the vector, bit r stored
+// at words[r/64] bit r%64. The slice is owned by the vector and must not
+// be modified — it exists for compact serialization.
+func (v *BitVector) Words() []uint64 { return v.bits }
+
+// BitVectorFromWords reconstructs a vector of dimension p from packed
+// words as returned by Words. The words are copied; bits at or beyond p
+// must be zero (the caller is expected to validate untrusted input).
+func BitVectorFromWords(p int, words []uint64) *BitVector {
+	v := NewBitVector(p)
+	copy(v.bits, words)
+	return v
+}
 
 // Ones returns the number of set bits |F(g)|.
 func (v *BitVector) Ones() int {
@@ -103,8 +118,19 @@ func (m *Mapper) Features() []*graph.Graph { return m.features }
 
 // Map computes the binary vector of g: bit r is 1 iff f_r ⊆ g.
 func (m *Mapper) Map(g *graph.Graph) *BitVector {
+	v, _ := m.MapContext(context.Background(), g)
+	return v
+}
+
+// MapContext is Map with cancellation: ctx is checked before each of the
+// p subgraph-isomorphism tests (each test is the expensive unit), and a
+// cancelled call returns (nil, ctx.Err()).
+func (m *Mapper) MapContext(ctx context.Context, g *graph.Graph) (*BitVector, error) {
 	v := NewBitVector(len(m.features))
 	for r, f := range m.features {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Cheap size filter before the isomorphism test.
 		if f.N() > g.N() || f.M() > g.M() {
 			continue
@@ -113,7 +139,7 @@ func (m *Mapper) Map(g *graph.Graph) *BitVector {
 			v.Set(r)
 		}
 	}
-	return v
+	return v, nil
 }
 
 // MapAll maps a whole database sequentially.
