@@ -1,0 +1,36 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make bench` additionally records the
+# machine-readable perf trajectory the repository tracks across PRs.
+
+GO        ?= go
+# BENCHTIME controls measurement cost: 1x smoke-runs every benchmark,
+# larger values (e.g. 2s) give stable numbers.
+BENCHTIME ?= 1x
+# BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
+# PR to grow the trajectory instead of overwriting it.
+BENCH_OUT ?= BENCH_pr3.json
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages: shard fan-out, compaction swaps, the
+# worker budget, and the HTTP layer on top of them.
+race:
+	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pool/...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs every benchmark and writes $(BENCH_OUT): one JSON record per
+# op with iterations, ns/op, B/op and allocs/op. Two steps, not a pipe,
+# so a panicking benchmark fails the target even after earlier benchmarks
+# emitted parseable lines.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > $(BENCH_OUT).txt
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $(BENCH_OUT).txt
+	@rm -f $(BENCH_OUT).txt

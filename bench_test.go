@@ -509,3 +509,56 @@ func BenchmarkSearchEngines(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStoreShardedSearch measures one mapped query through the Store
+// fan-out at increasing shard counts over the same database — the
+// per-query cost of sharding (per-shard VF2 mapping + heap merge) that
+// buys parallel Add/persistence/compaction.
+func BenchmarkStoreShardedSearch(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 60, AvgEdges: 12, Labels: 8, Seed: 5})
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 30, Tau: 0.1, MCSBudget: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := db[7]
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4} {
+		store := graphdim.NewStore(graphdim.StoreOptions{})
+		coll, err := store.CreateFromIndex(fmt.Sprintf("s%d", shards), idx, graphdim.CollectionOptions{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := coll.Search(ctx, q, graphdim.SearchOptions{K: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		store.Close()
+	}
+}
+
+// BenchmarkStoreAdd measures the online add path through the Store: hash
+// placement plus the per-shard VF2 mapping fan-out.
+func BenchmarkStoreAdd(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 60, AvgEdges: 12, Labels: 8, Seed: 5})
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 30, Tau: 0.1, MCSBudget: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := dataset.Synthetic(dataset.SynthConfig{N: 8, AvgEdges: 12, Labels: 8, Seed: 9})
+	ctx := context.Background()
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	coll, err := store.CreateFromIndex("bench", idx, graphdim.CollectionOptions{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coll.Add(ctx, batch...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,14 +1,21 @@
 // Command gsearch answers top-k graph similarity queries against an index
-// built by the dspm command.
+// built by the dspm command, or against a collection of a store directory
+// saved by the graphdim.Store API.
 //
 // Usage:
 //
 //	gsearch -index index.gdx -queries q.graphs [-k 10] [-engine verified] [-factor 3]
+//	gsearch -index index.gdx -queries q.graphs -shards 4
+//	gsearch -store storedir -collection default -queries q.graphs
 //
 // The engine flag picks the query engine: mapped (the paper's vector-space
 // scan, the default), verified (retrieve factor·k candidates, re-rank by
 // exact MCS), or exact (full MCS search; orders of magnitude slower, for
-// ground-truth comparison). Ctrl-C cancels an in-flight query promptly.
+// ground-truth comparison). With -shards > 1 the flat index is split into
+// a sharded in-memory collection and queries fan out across the shards —
+// results are identical to the unsharded index, making the flag a handy
+// equivalence check for the Store path. Ctrl-C cancels an in-flight query
+// promptly.
 package main
 
 import (
@@ -28,13 +35,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gsearch: ")
 	var (
-		index   = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
-		queries = flag.String("queries", "", "query graphs file (text format)")
-		k       = flag.Int("k", 10, "number of results per query")
-		engine  = flag.String("engine", "mapped", "query engine: mapped, verified or exact")
-		factor  = flag.Int("factor", 0, "verified engine: candidates = factor*k (0 = default 3)")
-		maxcand = flag.Int("maxcand", 0, "verified engine: hard cap on verified candidates (0 = uncapped)")
-		exact   = flag.Bool("exact", false, "deprecated: use -engine exact")
+		index    = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
+		storeDir = flag.String("store", "", "store directory saved by graphdim.Store (overrides -index)")
+		collName = flag.String("collection", "default", "collection to query inside -store")
+		shards   = flag.Int("shards", 1, "with -index: split the index into this many shards and fan queries out")
+		queries  = flag.String("queries", "", "query graphs file (text format)")
+		k        = flag.Int("k", 10, "number of results per query")
+		engine   = flag.String("engine", "mapped", "query engine: mapped, verified or exact")
+		factor   = flag.Int("factor", 0, "verified engine: candidates = factor*k (0 = default 3)")
+		maxcand  = flag.Int("maxcand", 0, "verified engine: hard cap on verified candidates (0 = uncapped)")
+		exact    = flag.Bool("exact", false, "deprecated: use -engine exact")
 	)
 	flag.Parse()
 	if *queries == "" {
@@ -49,14 +59,44 @@ func main() {
 		eng = graphdim.EngineExact
 	}
 
-	f, err := os.Open(*index)
-	if err != nil {
-		log.Fatal(err)
-	}
-	idx, err := graphdim.ReadIndex(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	// search abstracts over the three backends: a flat index, a sharded
+	// in-memory collection wrapped around it, or a persisted store.
+	var search func(ctx context.Context, q *graphdim.Graph, opt graphdim.SearchOptions) (*graphdim.SearchResult, error)
+	switch {
+	case *storeDir != "":
+		store, err := graphdim.OpenStore(*storeDir, graphdim.StoreOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		coll, ok := store.Collection(*collName)
+		if !ok {
+			log.Fatalf("store %s has no collection %q (have %v)", *storeDir, *collName, store.Collections())
+		}
+		log.Printf("opened %s/%s: %d graphs in %d shards", *storeDir, *collName, coll.Size(), coll.Shards())
+		search = coll.Search
+	default:
+		f, err := os.Open(*index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err := graphdim.ReadIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *shards > 1 {
+			store := graphdim.NewStore(graphdim.StoreOptions{})
+			defer store.Close()
+			coll, err := store.CreateFromIndex(*collName, idx, graphdim.CollectionOptions{Shards: *shards})
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("split %s into %d shards", *index, coll.Shards())
+			search = coll.Search
+		} else {
+			search = idx.Search
+		}
 	}
 
 	qf, err := os.Open(*queries)
@@ -72,9 +112,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opt := graphdim.SearchOptions{K: *k, Engine: eng, VerifyFactor: *factor, MaxCandidates: *maxcand}
+	// The CLI specifies every knob explicitly (flags have defaults), so a
+	// store collection's default overlay must not reinterpret the zero
+	// values — -engine mapped means mapped.
+	opt := graphdim.SearchOptions{K: *k, Engine: eng, VerifyFactor: *factor, MaxCandidates: *maxcand, NoDefaults: true}
 	for qi, q := range qs {
-		res, err := idx.Search(ctx, q, opt)
+		res, err := search(ctx, q, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,40 +1,53 @@
-// Command gserve serves top-k graph similarity queries over HTTP from a
-// persisted index — the online half of the paper's offline/online split:
-// dspm builds the index once (expensive: mining, MCS matrix, DSPM), and
-// gserve answers queries in milliseconds from the mapped vector space.
-// The index also grows online: POST /add maps new graphs into the fixed
-// dimension space without re-mining or re-running DSPM.
+// Command gserve serves top-k graph similarity queries over HTTP — the
+// online half of the paper's offline/online split, grown into a multi-
+// collection store: dspm builds an index once (expensive: mining, MCS
+// matrix, DSPM), gserve loads it into a graphdim.Store as the default
+// collection, optionally split across -shards parallel shards, and serves
+// a versioned REST API on top. Collections grow online (/add maps new
+// graphs into the fixed dimension space without re-mining), and a
+// background compactor rebuilds any shard whose stale ratio crosses
+// -compact-threshold while readers keep serving.
 //
 // Usage:
 //
 //	dspm -gen 200 -out index.gdx
-//	gserve -index index.gdx -addr :8080 -timeout 30s
+//	gserve -index index.gdx -addr :8080 -shards 4 -compact-every 1m
 //
-// Endpoints:
+// The /v1 API (all request and error bodies are JSON except graph
+// payloads, which use the standard text format "t # id" / "v id label" /
+// "e u v label"):
 //
-//	POST /search   query graphs in the standard text format ("t #" /
-//	               "v id label" / "e u v label"), one result list per
-//	               query, JSON out. Query parameters: k (results per
-//	               query), engine (mapped | verified | exact), factor
-//	               (verified candidate multiplier), maxcand (hard cap on
-//	               verified candidates).
-//	POST /add      graphs in the text format; maps them into the index's
-//	               dimension space and returns their assigned ids plus
-//	               the new stale ratio.
-//	POST /topk     deprecated v1 endpoint: /search restricted to the
-//	               mapped engine with the v1 response shape.
-//	GET  /healthz  liveness probe with index shape.
-//	GET  /stats    cumulative query counters, latency, stale ratio.
+//	GET    /v1/collections                   list collections
+//	POST   /v1/collections?name=N&shards=S   create a collection from the
+//	       graphs in the body; optional build knobs: dimensions, tau,
+//	       algorithm (dspm | dspmap), k (default result count)
+//	DELETE /v1/collections/{name}            drop a collection
+//	POST   /v1/collections/{name}/search     query graphs in the body; knobs:
+//	       k, engine (mapped | verified | exact), factor, maxcand
+//	POST   /v1/collections/{name}/add        map graphs into the collection
+//	GET    /v1/collections/{name}/stats      per-shard sizes, stale ratios,
+//	       compaction counters
+//	POST   /v1/collections/{name}/compact    rebuild stale shards now
+//	       (?force=true rebuilds every shard with any staleness)
+//	GET    /healthz                          liveness probe
+//	GET    /stats                            process-wide counters
+//
+// Deprecated aliases from the unversioned API keep working against the
+// default collection and answer with a Deprecation header: POST /search,
+// POST /add, and the v1-shape POST /topk.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections, waits up to -grace for in-flight requests, then exits.
-// -timeout bounds each request twice over: the connection's read/write
-// deadlines cover the body transfer, and the request context cancels the
-// underlying Search — exact and verified engines return promptly.
+// connections, waits up to -grace for in-flight requests, stops the
+// background compactor, then exits. -timeout bounds each request twice
+// over: the connection's read/write deadlines cover the body transfer, and
+// the request context cancels the underlying Search — exact and verified
+// engines return promptly. Collection creation (an offline build) is
+// exempt from -timeout and bounded only by the client's patience.
 //
 // Example:
 //
-//	curl -s --data-binary @queries.graphs 'localhost:8080/search?k=5&engine=verified&factor=4'
+//	curl -s --data-binary @queries.graphs \
+//	  'localhost:8080/v1/collections/default/search?k=5&engine=verified&factor=4'
 package main
 
 import (
@@ -59,11 +72,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gserve: ")
 	var (
-		index   = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		k       = flag.Int("k", 10, "default number of results per query")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
-		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		index     = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		k         = flag.Int("k", 10, "default number of results per query")
+		shards    = flag.Int("shards", 1, "shards for the default collection")
+		collName  = flag.String("collection", "default", "name of the default collection the deprecated routes hit")
+		workers   = flag.Int("workers", 0, "store-wide cross-shard worker budget (0 = one per CPU)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		threshold = flag.Float64("compact-threshold", 0.3, "stale ratio at which a shard is rebuilt (0 = the default 0.3, negative = never)")
+		every     = flag.Duration("compact-every", 0, "background compaction scan interval (0 = manual /compact only)")
+		rbTau     = flag.Float64("rebuild-tau", 0.1, "min-support ratio for compaction rebuilds of the default collection")
+		rbAlgo    = flag.String("rebuild-algo", "dspmap", "dimension algorithm for compaction rebuilds: dspm or dspmap")
+		rbBudget  = flag.Int64("rebuild-mcs-budget", 20000, "MCS budget for compaction rebuilds")
 	)
 	flag.Parse()
 
@@ -76,7 +97,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("loaded %s: %d graphs, %d dimensions", *index, idx.Size(), len(idx.Dimensions()))
+
+	store := graphdim.NewStore(graphdim.StoreOptions{
+		Workers: *workers,
+		Compaction: graphdim.CompactionPolicy{
+			StaleThreshold: *threshold,
+			Interval:       *every,
+		},
+		OnCompaction: func(coll string, shard int, err error) {
+			if err != nil {
+				log.Printf("compaction %s/shard-%d failed: %v", coll, shard, err)
+				return
+			}
+			log.Printf("compacted %s/shard-%d", coll, shard)
+		},
+	})
+	defer store.Close()
+	// Compaction rebuilds can't recover the flags dspm was built with (the
+	// .gdx file doesn't carry them), so they are sized from the loaded
+	// index and the -rebuild-* flags: same dimension count, DSPMap by
+	// default (its cost grows linearly with the shard, where DSPM's
+	// pairwise matrix would dwarf the original per-shard build).
+	rebuild := graphdim.Options{
+		Dimensions: len(idx.Dimensions()),
+		Tau:        *rbTau,
+		MCSBudget:  *rbBudget,
+	}
+	if *rbAlgo == "dspmap" {
+		rebuild.Algorithm = graphdim.DSPMap
+	} else if *rbAlgo != "dspm" {
+		log.Fatalf("rebuild-algo must be dspm or dspmap, got %q", *rbAlgo)
+	}
+	coll, err := store.CreateFromIndex(*collName, idx, graphdim.CollectionOptions{
+		Shards:   *shards,
+		Build:    rebuild,
+		Defaults: graphdim.SearchOptions{K: *k},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s into collection %q: %d graphs, %d dimensions, %d shards",
+		*index, *collName, coll.Size(), len(idx.Dimensions()), coll.Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -87,7 +148,7 @@ func main() {
 	}
 	log.Printf("listening on %s", ln.Addr())
 	srv := &http.Server{
-		Handler:           newServer(idx, *k, *timeout),
+		Handler:           newServer(store, *collName, *k, *timeout),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if *timeout > 0 {
@@ -123,31 +184,69 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Du
 // above a realistic query batch in the text format.
 const maxBodyBytes = 32 << 20
 
-// server holds the index (safe for concurrent readers and writers: see
-// graphdim.Index) and the cumulative counters reported by /stats.
-// Counters are atomics — handler goroutines share no other mutable state.
+// server holds the store (safe for concurrent use: see graphdim.Store) and
+// the cumulative counters reported by /stats. Counters are atomics —
+// handler goroutines share no other mutable state.
 type server struct {
-	idx      *graphdim.Index
-	defaultK int
-	timeout  time.Duration
-	started  time.Time
+	store       *graphdim.Store
+	defaultColl string
+	defaultK    int
+	timeout     time.Duration
+	started     time.Time
 
 	requests  atomic.Int64 // search/topk requests answered successfully
 	queries   atomic.Int64 // individual query graphs answered
-	added     atomic.Int64 // graphs added via /add
+	added     atomic.Int64 // graphs added via the add endpoints
 	errors    atomic.Int64 // requests rejected (sum with requests for the total)
 	latencyUS atomic.Int64 // cumulative successful-search latency, microseconds
 }
 
-func newServer(idx *graphdim.Index, defaultK int, timeout time.Duration) http.Handler {
-	s := &server{idx: idx, defaultK: defaultK, timeout: timeout, started: time.Now()}
+func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout time.Duration) http.Handler {
+	s := &server{store: store, defaultColl: defaultColl, defaultK: defaultK, timeout: timeout, started: time.Now()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/add", s.handleAdd)
-	mux.HandleFunc("/topk", s.handleTopK)
+	// Method checks live inside the handlers so that 405s (and the
+	// fallback 404) carry the same JSON error shape as every other
+	// failure.
+	mux.HandleFunc("/v1/collections", s.handleCollections)
+	mux.HandleFunc("/v1/collections/{name}", s.handleCollection)
+	mux.HandleFunc("/v1/collections/{name}/{action}", s.handleCollectionAction)
+	mux.HandleFunc("/search", s.deprecated(s.handleLegacySearch))
+	mux.HandleFunc("/add", s.deprecated(s.handleLegacyAdd))
+	mux.HandleFunc("/topk", s.deprecated(s.handleTopK))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.fail(w, http.StatusNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
+	})
 	return mux
+}
+
+// deprecated marks the unversioned routes: they keep serving the default
+// collection but advertise their /v1 successors. /topk has no same-name
+// successor — its replacement is the search action.
+func (s *server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		successor := r.URL.Path
+		if successor == "/topk" {
+			successor = "/search"
+		}
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1/collections/%s%s>; rel=\"successor-version\"", s.defaultColl, successor))
+		h(w, r)
+	}
+}
+
+// clearConnDeadlines lifts the server-wide read/write deadlines off the
+// connection for the endpoints exempt from -timeout (collection creation
+// and compaction are offline builds): without this the connection's
+// WriteTimeout, armed when the request arrived, would kill the response
+// of any build outlasting it.
+func clearConnDeadlines(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	// Errors mean the connection type doesn't support deadlines; then
+	// there is nothing to lift.
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
 }
 
 // requestContext derives the per-request context, bounded by the
@@ -159,6 +258,17 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
+// collection resolves a collection name, answering a JSON 404 itself when
+// it does not exist.
+func (s *server) collection(w http.ResponseWriter, name string) (*graphdim.Collection, bool) {
+	c, ok := s.store.Collection(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "collection %q not found", name)
+		return nil, false
+	}
+	return c, true
+}
+
 // searchResult mirrors graphdim.Result with stable JSON field names.
 type searchResult struct {
 	ID       int     `json:"id"`
@@ -166,20 +276,31 @@ type searchResult struct {
 }
 
 type searchResponse struct {
-	K         int              `json:"k"`
-	Engine    string           `json:"engine"`
-	Queries   int              `json:"queries"`
-	ElapsedMS float64          `json:"elapsed_ms"`
-	Results   [][]searchResult `json:"results"`
+	Collection string           `json:"collection,omitempty"`
+	K          int              `json:"k"`
+	Engine     string           `json:"engine"`
+	Queries    int              `json:"queries"`
+	ElapsedMS  float64          `json:"elapsed_ms"`
+	Results    [][]searchResult `json:"results"`
 	// Matched is the number of index dimensions each query graph
 	// contains — low counts mean the mapped space carries little signal
 	// for that query and the verified engine is worth the extra cost.
 	Matched []int `json:"matched_dimensions"`
 }
 
-// parseSearchOptions extracts the per-query knobs from the URL.
-func (s *server) parseSearchOptions(r *http.Request) (graphdim.SearchOptions, error) {
-	opt := graphdim.SearchOptions{K: s.defaultK}
+// parseSearchOptions resolves the effective per-query options: the
+// collection's defaults (falling back to the server-wide -k), overridden
+// by any knobs present in the URL. The overlay happens here, with
+// NoDefaults set, rather than inside Collection.Search — the handler
+// knows which parameters were explicitly given, so ?engine=mapped works
+// even on a collection whose default engine is not mapped (the library
+// overlay cannot distinguish explicit zero values from unset ones).
+func (s *server) parseSearchOptions(r *http.Request, c *graphdim.Collection) (graphdim.SearchOptions, error) {
+	opt := c.Defaults()
+	opt.NoDefaults = true
+	if opt.K == 0 {
+		opt.K = s.defaultK
+	}
 	q := r.URL.Query()
 	if v := q.Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -227,13 +348,139 @@ func (s *server) readGraphs(w http.ResponseWriter, r *http.Request) ([]*graphdim
 	return gs, true
 }
 
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// ---- /v1 collection management ----
+
+// collectionSummary is one row of the list response.
+type collectionSummary struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+	Graphs int    `json:"graphs"`
+}
+
+func (s *server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		names := s.store.Collections()
+		out := make([]collectionSummary, 0, len(names))
+		for _, name := range names {
+			if c, ok := s.store.Collection(name); ok {
+				out = append(out, collectionSummary{Name: name, Shards: c.Shards(), Graphs: c.Size()})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
+	case http.MethodPost:
+		s.handleCreateCollection(w, r)
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "GET lists collections, POST creates one")
+	}
+}
+
+func (s *server) handleCreateCollection(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		s.fail(w, http.StatusBadRequest, "name parameter is required")
+		return
+	}
+	opt := graphdim.CollectionOptions{}
+	var err error
+	intParam := func(key string, dst *int) bool {
+		v := q.Get(key)
+		if v == "" {
+			return true
+		}
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "%s must be a non-negative integer, got %q", key, v)
+			return false
+		}
+		*dst = n
+		return true
+	}
+	if !intParam("shards", &opt.Shards) || !intParam("dimensions", &opt.Build.Dimensions) || !intParam("k", &opt.Defaults.K) {
+		return
+	}
+	if v := q.Get("tau"); v != "" {
+		opt.Build.Tau, err = strconv.ParseFloat(v, 64)
+		if err != nil || opt.Build.Tau <= 0 || opt.Build.Tau > 1 {
+			s.fail(w, http.StatusBadRequest, "tau must be in (0, 1], got %q", v)
+			return
+		}
+	}
+	switch q.Get("algorithm") {
+	case "", "dspm":
+	case "dspmap":
+		opt.Build.Algorithm = graphdim.DSPMap
+	default:
+		s.fail(w, http.StatusBadRequest, "algorithm must be dspm or dspmap, got %q", q.Get("algorithm"))
+		return
+	}
+	// Creation is a full offline build; it is deliberately exempt from the
+	// per-request -timeout (context and connection deadlines both) and
+	// bounded by the client connection instead.
+	clearConnDeadlines(w)
+	db, ok := s.readGraphs(w, r)
+	if !ok {
+		return
+	}
+	c, err := s.store.Create(r.Context(), name, db, opt)
+	if err != nil {
+		s.failQuery(w, r.Context(), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, collectionStatsJSON(c))
+}
+
+func (s *server) handleCollection(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch r.Method {
+	case http.MethodGet:
+		if c, ok := s.collection(w, name); ok {
+			writeJSON(w, http.StatusOK, collectionStatsJSON(c))
+		}
+	case http.MethodDelete:
+		if err := s.store.Drop(name); err != nil {
+			s.fail(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "GET reads collection stats, DELETE drops the collection")
+	}
+}
+
+func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.collection(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	switch action := r.PathValue("action"); action {
+	case "search":
+		s.handleSearch(w, r, c)
+	case "add":
+		s.handleAdd(w, r, c)
+	case "stats":
+		if r.Method != http.MethodGet {
+			s.fail(w, http.StatusMethodNotAllowed, "GET reads collection stats")
+			return
+		}
+		writeJSON(w, http.StatusOK, collectionStatsJSON(c))
+	case "compact":
+		s.handleCompact(w, r, c)
+	default:
+		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, stats or compact)", action)
+	}
+}
+
+// ---- search / add / compact ----
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST query graphs in the standard text format")
 		return
 	}
 	start := time.Now()
-	opt, err := s.parseSearchOptions(r)
+	opt, err := s.parseSearchOptions(r, c)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -244,17 +491,18 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	batch, err := s.idx.SearchBatch(ctx, queries, opt)
+	batch, err := c.SearchBatch(ctx, queries, opt)
 	if err != nil {
 		s.failQuery(w, ctx, err)
 		return
 	}
 	resp := searchResponse{
-		K:       opt.K,
-		Engine:  opt.Engine.String(),
-		Queries: len(queries),
-		Results: make([][]searchResult, len(batch)),
-		Matched: make([]int, len(batch)),
+		Collection: c.Name(),
+		K:          opt.K,
+		Engine:     batch[0].Engine.String(),
+		Queries:    len(queries),
+		Results:    make([][]searchResult, len(batch)),
+		Matched:    make([]int, len(batch)),
 	}
 	for i, res := range batch {
 		out := make([]searchResult, len(res.Results))
@@ -274,12 +522,16 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 type addResponse struct {
-	IDs        []int   `json:"ids"`
-	Size       int     `json:"size"`
-	StaleRatio float64 `json:"stale_ratio"`
+	Collection string `json:"collection,omitempty"`
+	IDs        []int  `json:"ids"`
+	Size       int    `json:"size"`
+	// StaleRatio is the stalest shard's ratio — the value the compaction
+	// policy triggers on; StaleRatios lists every shard.
+	StaleRatio  float64   `json:"stale_ratio"`
+	StaleRatios []float64 `json:"stale_ratios"`
 }
 
-func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST graphs in the standard text format")
 		return
@@ -290,17 +542,58 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	ids, err := s.idx.AddContext(ctx, gs...)
+	ids, err := c.Add(ctx, gs...)
 	if err != nil {
 		s.failQuery(w, ctx, err)
 		return
 	}
 	s.added.Add(int64(len(ids)))
-	writeJSON(w, http.StatusOK, addResponse{
-		IDs:        ids,
-		Size:       s.idx.Size(),
-		StaleRatio: s.idx.StaleRatio(),
+	ratios := c.StaleRatios()
+	resp := addResponse{Collection: c.Name(), IDs: ids, Size: c.Size(), StaleRatios: ratios}
+	for _, r := range ratios {
+		if r > resp.StaleRatio {
+			resp.StaleRatio = r
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST triggers compaction")
+		return
+	}
+	force := r.URL.Query().Get("force") == "true"
+	// Compaction is a rebuild; like creation it ignores -timeout.
+	clearConnDeadlines(w)
+	n, err := c.Compact(r.Context(), force)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "compacted %d shards, then: %v", n, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection":   c.Name(),
+		"compacted":    n,
+		"stale_ratios": c.StaleRatios(),
 	})
+}
+
+// ---- deprecated unversioned routes ----
+
+func (s *server) handleLegacySearch(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.collection(w, s.defaultColl)
+	if !ok {
+		return
+	}
+	s.handleSearch(w, r, c)
+}
+
+func (s *server) handleLegacyAdd(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.collection(w, s.defaultColl)
+	if !ok {
+		return
+	}
+	s.handleAdd(w, r, c)
 }
 
 // topkResponse is the v1 response shape, kept for existing clients.
@@ -316,6 +609,10 @@ type topkResponse struct {
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST a graph database in the standard text format")
+		return
+	}
+	c, ok := s.collection(w, s.defaultColl)
+	if !ok {
 		return
 	}
 	start := time.Now()
@@ -334,7 +631,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	batch, err := s.idx.SearchBatch(ctx, queries, graphdim.SearchOptions{K: k})
+	batch, err := c.SearchBatch(ctx, queries, graphdim.SearchOptions{K: k, Engine: graphdim.EngineMapped})
 	if err != nil {
 		s.failQuery(w, ctx, err)
 		return
@@ -360,21 +657,66 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ---- health and stats ----
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	names := s.store.Collections()
+	graphs := 0
+	for _, name := range names {
+		if c, ok := s.store.Collection(name); ok {
+			graphs += c.Size()
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"graphs":     s.idx.Size(),
-		"dimensions": len(s.idx.Dimensions()),
+		"status":      "ok",
+		"graphs":      graphs,
+		"collections": len(names),
 	})
+}
+
+// shardStatsJSON mirrors graphdim.ShardStats with stable JSON names.
+type shardStatsJSON struct {
+	Live                int     `json:"live"`
+	Total               int     `json:"total"`
+	Dimensions          int     `json:"dimensions"`
+	StaleRatio          float64 `json:"stale_ratio"`
+	Compactions         int64   `json:"compactions"`
+	LastCompactionError string  `json:"last_compaction_error,omitempty"`
+}
+
+type collectionStatsResponse struct {
+	Name   string           `json:"name"`
+	Live   int              `json:"graphs"`
+	NextID int              `json:"next_id"`
+	Shards []shardStatsJSON `json:"shards"`
+}
+
+func collectionStatsJSON(c *graphdim.Collection) collectionStatsResponse {
+	st := c.Stats()
+	out := collectionStatsResponse{Name: st.Name, Live: st.Live, NextID: st.NextID}
+	for _, sh := range st.Shards {
+		out.Shards = append(out.Shards, shardStatsJSON{
+			Live:                sh.Live,
+			Total:               sh.Total,
+			Dimensions:          sh.Dimensions,
+			StaleRatio:          sh.StaleRatio,
+			Compactions:         sh.Compactions,
+			LastCompactionError: sh.LastCompactionError,
+		})
+	}
+	return out
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	requests := s.requests.Load()
+	colls := map[string]collectionStatsResponse{}
+	for _, name := range s.store.Collections() {
+		if c, ok := s.store.Collection(name); ok {
+			colls[name] = collectionStatsJSON(c)
+		}
+	}
 	stats := map[string]any{
-		"graphs":           s.idx.Size(),
-		"removed":          s.idx.Removed(),
-		"dimensions":       len(s.idx.Dimensions()),
-		"stale_ratio":      s.idx.StaleRatio(),
+		"collections":      colls,
 		"uptime_seconds":   time.Since(s.started).Seconds(),
 		"search_requests":  requests,
 		"queries_answered": s.queries.Load(),
@@ -392,7 +734,7 @@ func (s *server) fail(w http.ResponseWriter, status int, format string, args ...
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// failQuery reports a SearchBatch/Add error: 503 when the request's
+// failQuery reports a search/add/create error: 503 when the request's
 // deadline (or the client) cancelled the context, 400 for everything
 // else. One helper so the POST endpoints cannot diverge.
 func (s *server) failQuery(w http.ResponseWriter, ctx context.Context, err error) {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -36,12 +38,34 @@ func buildTestIndex(t *testing.T) *graphdim.Index {
 	return loaded
 }
 
-func queriesText(t *testing.T, idx *graphdim.Index, n int) string {
+// newTestServer stands up the full handler around a store whose default
+// collection wraps the test index across the given number of shards.
+func newTestServer(t *testing.T, shards int, timeout time.Duration) (*httptest.Server, *graphdim.Collection) {
+	t.Helper()
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	t.Cleanup(store.Close)
+	coll, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{
+		Shards: shards,
+		Build:  graphdim.Options{Dimensions: 12, Tau: 0.2, MCSBudget: 1500},
+	})
+	if err != nil {
+		t.Fatalf("CreateFromIndex: %v", err)
+	}
+	ts := httptest.NewServer(newServer(store, "default", 10, timeout))
+	t.Cleanup(ts.Close)
+	return ts, coll
+}
+
+func queriesText(t *testing.T, coll *graphdim.Collection, n int) string {
 	t.Helper()
 	var buf bytes.Buffer
 	gs := make([]*graphdim.Graph, n)
 	for i := 0; i < n; i++ {
-		gs[i] = idx.Graph(i)
+		g, ok := coll.Graph(i)
+		if !ok {
+			t.Fatalf("Graph(%d) missing", i)
+		}
+		gs[i] = g
 	}
 	if err := graphdim.WriteGraphs(&buf, gs); err != nil {
 		t.Fatalf("WriteGraphs: %v", err)
@@ -50,11 +74,9 @@ func queriesText(t *testing.T, idx *graphdim.Index, n int) string {
 }
 
 func TestTopKEndpoint(t *testing.T) {
-	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
-	defer ts.Close()
+	ts, coll := newTestServer(t, 1, 30*time.Second)
 
-	body := queriesText(t, idx, 3)
+	body := queriesText(t, coll, 3)
 	resp, err := http.Post(ts.URL+"/topk?k=5", "text/plain", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +84,9 @@ func TestTopKEndpoint(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("legacy /topk response missing the Deprecation header")
 	}
 	var out topkResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -83,9 +108,7 @@ func TestTopKEndpoint(t *testing.T) {
 }
 
 func TestTopKEndpointRejectsBadRequests(t *testing.T) {
-	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
-	defer ts.Close()
+	ts, _ := newTestServer(t, 1, 30*time.Second)
 
 	for _, tc := range []struct {
 		name   string
@@ -115,10 +138,60 @@ func TestTopKEndpointRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// TestErrorsAreJSON pins the contract that every error body — including
+// router-level 404s and 405s — is a JSON object with an "error" key and
+// the right Content-Type.
+func TestErrorsAreJSON(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 30*time.Second)
+
+	for _, tc := range []struct {
+		name   string
+		method string
+		url    string
+		body   string
+		want   int
+	}{
+		{"unknown route", http.MethodGet, "/nope", "", http.StatusNotFound},
+		{"root", http.MethodGet, "/", "", http.StatusNotFound},
+		{"legacy search wrong method", http.MethodGet, "/search", "", http.StatusMethodNotAllowed},
+		{"legacy add wrong method", http.MethodGet, "/add", "", http.StatusMethodNotAllowed},
+		{"v1 collections wrong method", http.MethodDelete, "/v1/collections", "", http.StatusMethodNotAllowed},
+		{"v1 create without name", http.MethodPost, "/v1/collections", "t # 0\nv 0 1\n", http.StatusBadRequest},
+		{"v1 unknown collection", http.MethodPost, "/v1/collections/ghost/search", "t # 0\nv 0 1\n", http.StatusNotFound},
+		{"v1 unknown action", http.MethodPost, "/v1/collections/default/explode", "", http.StatusNotFound},
+		{"v1 stats wrong method", http.MethodPost, "/v1/collections/default/stats", "", http.StatusMethodNotAllowed},
+		{"v1 bad engine", http.MethodPost, "/v1/collections/default/search?engine=warp", "t # 0\nv 0 1\n", http.StatusBadRequest},
+		{"v1 garbage graphs", http.MethodPost, "/v1/collections/default/search", "not a graph", http.StatusBadRequest},
+		{"v1 compact wrong method", http.MethodGet, "/v1/collections/default/compact", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.url, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", tc.name, ct)
+		}
+		var out map[string]string
+		if err := json.Unmarshal(data, &out); err != nil || out["error"] == "" {
+			t.Errorf("%s: body %q is not a JSON error object", tc.name, data)
+		}
+	}
+}
+
 func TestHealthzAndStats(t *testing.T) {
-	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
-	defer ts.Close()
+	ts, coll := newTestServer(t, 2, 30*time.Second)
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -129,12 +202,12 @@ func TestHealthzAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health["status"] != "ok" {
-		t.Fatalf("healthz status = %v", health["status"])
+	if health["status"] != "ok" || health["collections"].(float64) != 1 {
+		t.Fatalf("healthz = %v", health)
 	}
 
 	// Serve a batch, then confirm the counters moved.
-	body := queriesText(t, idx, 2)
+	body := queriesText(t, coll, 2)
 	if _, err := http.Post(ts.URL+"/topk", "text/plain", strings.NewReader(body)); err != nil {
 		t.Fatal(err)
 	}
@@ -142,28 +215,31 @@ func TestHealthzAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats map[string]any
+	var stats struct {
+		SearchRequests  float64                            `json:"search_requests"`
+		QueriesAnswered float64                            `json:"queries_answered"`
+		Collections     map[string]collectionStatsResponse `json:"collections"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if got := stats["search_requests"].(float64); got != 1 {
-		t.Fatalf("search_requests = %v, want 1", got)
+	if stats.SearchRequests != 1 {
+		t.Fatalf("search_requests = %v, want 1", stats.SearchRequests)
 	}
-	if _, ok := stats["stale_ratio"].(float64); !ok {
-		t.Fatalf("stats missing stale_ratio: %v", stats)
+	if stats.QueriesAnswered != 2 {
+		t.Fatalf("queries_answered = %v, want 2", stats.QueriesAnswered)
 	}
-	if got := stats["queries_answered"].(float64); got != 2 {
-		t.Fatalf("queries_answered = %v, want 2", got)
+	def, ok := stats.Collections["default"]
+	if !ok || len(def.Shards) != 2 || def.Live != coll.Size() {
+		t.Fatalf("stats missing sharded default collection: %+v", stats.Collections)
 	}
 }
 
 func TestSearchEndpointEngines(t *testing.T) {
-	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
-	defer ts.Close()
+	ts, coll := newTestServer(t, 1, 30*time.Second)
 
-	body := queriesText(t, idx, 2)
+	body := queriesText(t, coll, 2)
 	for _, engine := range []string{"mapped", "verified", "exact"} {
 		resp, err := http.Post(ts.URL+"/search?k=4&engine="+engine+"&factor=2", "text/plain", strings.NewReader(body))
 		if err != nil {
@@ -209,12 +285,51 @@ func TestSearchEndpointEngines(t *testing.T) {
 	}
 }
 
-func TestAddEndpoint(t *testing.T) {
-	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 10, 30*time.Second))
-	defer ts.Close()
+// TestShardedSearchMatchesUnsharded runs the same queries against a
+// 1-shard and a 3-shard server over the same index and expects identical
+// payloads — the HTTP layer's view of the equivalence guarantee.
+func TestShardedSearchMatchesUnsharded(t *testing.T) {
+	flat, coll := newTestServer(t, 1, 30*time.Second)
+	sharded, _ := newTestServer(t, 3, 30*time.Second)
 
-	before := idx.Size()
+	body := queriesText(t, coll, 3)
+	for _, q := range []string{"/search?k=7", "/search?k=7&engine=exact", "/v1/collections/default/search?k=5"} {
+		read := func(base string) searchResponse {
+			resp, err := http.Post(base+q, "text/plain", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d", q, resp.StatusCode)
+			}
+			var out searchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		a, b := read(flat.URL), read(sharded.URL)
+		if len(a.Results) != len(b.Results) {
+			t.Fatalf("%s: %d vs %d result lists", q, len(a.Results), len(b.Results))
+		}
+		for i := range a.Results {
+			if len(a.Results[i]) != len(b.Results[i]) {
+				t.Fatalf("%s query %d: %d vs %d results", q, i, len(a.Results[i]), len(b.Results[i]))
+			}
+			for j := range a.Results[i] {
+				if a.Results[i][j] != b.Results[i][j] {
+					t.Fatalf("%s query %d rank %d: %+v vs %+v", q, i, j, a.Results[i][j], b.Results[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestAddEndpoint(t *testing.T) {
+	ts, coll := newTestServer(t, 2, 30*time.Second)
+
+	before := coll.Size()
 	newGraphs := dataset.Chemical(dataset.ChemConfig{N: 3, MinVertices: 8, MaxVertices: 12, Seed: 31})
 	var buf bytes.Buffer
 	if err := graphdim.WriteGraphs(&buf, newGraphs); err != nil {
@@ -235,6 +350,9 @@ func TestAddEndpoint(t *testing.T) {
 	if len(out.IDs) != 3 || out.Size != before+3 || out.StaleRatio <= 0 {
 		t.Fatalf("bad add response: %+v", out)
 	}
+	if len(out.StaleRatios) != 2 {
+		t.Fatalf("stale_ratios = %v, want one entry per shard", out.StaleRatios)
+	}
 
 	// The added graphs are immediately searchable: self query hits its
 	// new id at distance 0.
@@ -242,7 +360,7 @@ func TestAddEndpoint(t *testing.T) {
 	if err := graphdim.WriteGraphs(&qbuf, newGraphs[:1]); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.Post(ts.URL+"/search?k=100", "text/plain", &qbuf)
+	resp, err = http.Post(ts.URL+"/v1/collections/default/search?k=100", "text/plain", &qbuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,15 +400,193 @@ func TestAddEndpoint(t *testing.T) {
 	}
 }
 
+// TestV1CollectionLifecycle walks create → list → search → stats →
+// compact → delete through the versioned API.
+func TestV1CollectionLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 30*time.Second)
+
+	db := dataset.Chemical(dataset.ChemConfig{N: 14, MinVertices: 8, MaxVertices: 12, Seed: 99})
+	var buf bytes.Buffer
+	if err := graphdim.WriteGraphs(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/collections?name=mols&shards=2&dimensions=10&tau=0.25&k=3", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created collectionStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	if created.Name != "mols" || len(created.Shards) != 2 || created.Live != len(db) {
+		t.Fatalf("create response: %+v", created)
+	}
+
+	// Duplicate names are rejected.
+	var again bytes.Buffer
+	if err := graphdim.WriteGraphs(&again, db); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/collections?name=mols", "text/plain", &again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate create status = %d, want 400", resp.StatusCode)
+	}
+
+	// List shows both collections.
+	resp, err = http.Get(ts.URL + "/v1/collections")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Collections []collectionSummary `json:"collections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Collections) != 2 || list.Collections[0].Name != "default" || list.Collections[1].Name != "mols" {
+		t.Fatalf("list = %+v", list.Collections)
+	}
+
+	// Search uses the collection's default k=3 when none is given.
+	var qbuf bytes.Buffer
+	if err := graphdim.WriteGraphs(&qbuf, db[:1]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/collections/mols/search", "text/plain", &qbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sout searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sout); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sout.Collection != "mols" || sout.K != 3 || len(sout.Results[0]) != 3 {
+		t.Fatalf("search on created collection: %+v", sout)
+	}
+
+	// Stats via both routes.
+	for _, path := range []string{"/v1/collections/mols", "/v1/collections/mols/stats"} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st collectionStatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Name != "mols" || st.NextID != len(db) {
+			t.Fatalf("%s: %+v", path, st)
+		}
+	}
+
+	// Delete, then the collection is gone.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/collections/mols", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/collections/mols/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats after delete = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestV1CompactEndpoint makes the default collection stale over HTTP and
+// compacts it through the API.
+func TestV1CompactEndpoint(t *testing.T) {
+	ts, coll := newTestServer(t, 2, 30*time.Second)
+
+	// Triple the database so both shards cross the 0.3 threshold.
+	extra := dataset.Chemical(dataset.ChemConfig{N: 2 * coll.Size(), MinVertices: 8, MaxVertices: 12, Seed: 321})
+	var buf bytes.Buffer
+	if err := graphdim.WriteGraphs(&buf, extra); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/collections/default/add", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/collections/default/compact", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Compacted   int       `json:"compacted"`
+		StaleRatios []float64 `json:"stale_ratios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status = %d", resp.StatusCode)
+	}
+	if out.Compacted != 2 {
+		t.Fatalf("compacted = %d, want 2", out.Compacted)
+	}
+	for i, r := range out.StaleRatios {
+		if r != 0 {
+			t.Fatalf("shard %d stale ratio %v after compact", i, r)
+		}
+	}
+
+	// Compaction counters surface in stats.
+	resp, err = http.Get(ts.URL + "/v1/collections/default/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st collectionStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for i, sh := range st.Shards {
+		if sh.Compactions != 1 {
+			t.Fatalf("shard %d compactions = %d, want 1 (%+v)", i, sh.Compactions, st)
+		}
+	}
+}
+
 // TestGracefulShutdown pins the serve loop: cancelling the signal context
 // must drain and return promptly without dropping an in-flight request.
 func TestGracefulShutdown(t *testing.T) {
-	idx := buildTestIndex(t)
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	if _, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{}); err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: newServer(idx, 5, 30*time.Second)}
+	srv := &http.Server{Handler: newServer(store, "default", 5, 30*time.Second)}
 	ctx, cancel := context.WithCancel(context.Background())
 
 	served := make(chan error, 1)
@@ -323,12 +619,10 @@ func TestGracefulShutdown(t *testing.T) {
 // TestRequestTimeoutCancelsSearch pins the -timeout flag: a request
 // exceeding it fails with 503 instead of hanging.
 func TestRequestTimeoutCancelsSearch(t *testing.T) {
-	idx := buildTestIndex(t)
 	// A 1ns budget cannot complete any search.
-	ts := httptest.NewServer(newServer(idx, 10, time.Nanosecond))
-	defer ts.Close()
+	ts, coll := newTestServer(t, 2, time.Nanosecond)
 
-	body := queriesText(t, idx, 2)
+	body := queriesText(t, coll, 2)
 	resp, err := http.Post(ts.URL+"/search?engine=exact", "text/plain", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -339,34 +633,62 @@ func TestRequestTimeoutCancelsSearch(t *testing.T) {
 	}
 }
 
-// TestConcurrentRequests hammers one server (hence one shared Index) from
-// many goroutines — meaningful under -race.
+// TestConcurrentRequests hammers one server (hence one shared store) from
+// many goroutines across search, add, and compact — meaningful under
+// -race: it covers the shard fan-out racing the compaction swap.
 func TestConcurrentRequests(t *testing.T) {
-	idx := buildTestIndex(t)
-	ts := httptest.NewServer(newServer(idx, 5, 30*time.Second))
-	defer ts.Close()
+	ts, coll := newTestServer(t, 2, 30*time.Second)
 
-	body := queriesText(t, idx, 4)
+	body := queriesText(t, coll, 4)
 	var wg sync.WaitGroup
-	errs := make(chan error, 16)
-	for w := 0; w < 8; w++ {
+	errs := make(chan error, 64)
+	for w := 0; w < 6; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				resp, err := http.Post(ts.URL+"/topk", "text/plain", strings.NewReader(body))
+				url := ts.URL + "/topk"
+				if w%2 == 0 {
+					url = ts.URL + "/v1/collections/default/search?k=3"
+				}
+				resp, err := http.Post(url, "text/plain", strings.NewReader(body))
 				if err != nil {
 					errs <- err
 					return
 				}
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
-					errs <- err
+					errs <- fmt.Errorf("%s: status %d", url, resp.StatusCode)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		extra := dataset.Chemical(dataset.ChemConfig{N: 6, MinVertices: 8, MaxVertices: 12, Seed: 55})
+		var buf bytes.Buffer
+		if err := graphdim.WriteGraphs(&buf, extra); err != nil {
+			errs <- err
+			return
+		}
+		payload := buf.String()
+		for i := 0; i < 3; i++ {
+			resp, err := http.Post(ts.URL+"/add", "text/plain", strings.NewReader(payload))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			resp, err = http.Post(ts.URL+"/v1/collections/default/compact?force=true", "text/plain", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
 	wg.Wait()
 	close(errs)
 	for err := range errs {

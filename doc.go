@@ -8,13 +8,20 @@
 // Search/SearchBatch readers (per-query engine choice: mapped, verified,
 // exact), grows online via Add/Remove without re-running DSPM, and
 // persists via WriteTo/ReadIndex in a compact versioned binary format.
-// cmd/gserve exposes a persisted index over HTTP with graceful shutdown;
-// the other commands (gen, mine, dspm, gsearch, figures) cover the rest
-// of the pipeline — see README.md for a tour.
+// Above the single index sits the Store management layer: named
+// collections sharded across parallel indexes by hashed graph placement,
+// fan-out search with a global top-k merge, background compaction that
+// rebuilds stale shards while readers keep serving, and Save/OpenStore
+// directory persistence with a manifest. cmd/gserve exposes a store over
+// a versioned /v1 HTTP API with graceful shutdown; the other commands
+// (gen, mine, dspm, gsearch, figures, benchjson) cover the rest of the
+// pipeline — see README.md for a tour.
 //
 // The paper's algorithms and substrates are implemented under internal/
 // (see DESIGN.md for the full inventory and the concurrency model). The
 // benchmarks in bench_test.go regenerate every figure of the paper's
-// evaluation section plus the worker-scaling benches; EXPERIMENTS.md
-// records the measured shapes against the paper's.
+// evaluation section plus the worker-scaling benches; `make bench`
+// records them as machine-readable JSON (BENCH_prN.json) to track the
+// perf trajectory across PRs; EXPERIMENTS.md records the measured shapes
+// against the paper's.
 package repro

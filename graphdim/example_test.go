@@ -145,3 +145,49 @@ func ExampleIndex_WriteTo() {
 	// true
 	// true
 }
+
+// ExampleStore shows the management layer: a collection sharded across
+// parallel indexes answers exactly like an unsharded index, grows online,
+// and compacts stale shards in place while staying searchable.
+func ExampleStore() {
+	db := dataset.Chemical(dataset.ChemConfig{N: 30, MinVertices: 8, MaxVertices: 12, Seed: 4})
+	ctx := context.Background()
+
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	coll, err := store.Create(ctx, "molecules", db, graphdim.CollectionOptions{
+		Shards:   3,
+		Build:    graphdim.Options{Dimensions: 15, Tau: 0.15, MCSBudget: 2000},
+		Defaults: graphdim.SearchOptions{K: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The fan-out search merges per-shard top-k lists into the exact
+	// unsharded ranking; K comes from the collection defaults.
+	flat, err := graphdim.Build(db, graphdim.Options{Dimensions: 15, Tau: 0.15, MCSBudget: 2000})
+	if err != nil {
+		panic(err)
+	}
+	want, _ := flat.Search(ctx, db[5], graphdim.SearchOptions{K: 5})
+	got, err := coll.Search(ctx, db[5], graphdim.SearchOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sharded == unsharded:", reflect.DeepEqual(got.Results, want.Results))
+
+	// Grow the collection, then rebuild every stale shard while readers
+	// keep serving.
+	if _, err := coll.Add(ctx, dataset.Chemical(dataset.ChemConfig{N: 20, MinVertices: 8, MaxVertices: 12, Seed: 9})...); err != nil {
+		panic(err)
+	}
+	compacted, err := coll.Compact(ctx, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("graphs:", coll.Size(), "shards compacted:", compacted)
+	// Output:
+	// sharded == unsharded: true
+	// graphs: 50 shards compacted: 3
+}

@@ -34,6 +34,14 @@
 // snapshot. WriteTo/ReadIndex persist an index in a compact versioned
 // binary format (v1 JSON files remain readable) so query servers
 // (cmd/gserve) can load it without re-mining or re-running DSPM.
+//
+// Above the single index, Store manages named collections sharded across
+// parallel indexes: graphs place onto shards by a fixed hash of their
+// global id, Search fans out and merges per-shard top-k heaps into one
+// globally ranked result (exactly the unsharded ranking — see
+// Collection.Search), Add and Save/OpenStore parallelize per shard, and a
+// background compactor rebuilds any shard whose StaleRatio crosses a
+// policy threshold while readers keep serving.
 package graphdim
 
 import (

@@ -1,0 +1,412 @@
+package graphdim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A store persists as a directory: a store.json manifest naming every
+// collection, its shard layout, build and default-search options, and the
+// local→global id table of each shard, next to one v2 index file per shard
+// (<dir>/<collection>/shard-NNNN.gdx, the WriteTo format). Shard files
+// carry no ids of their own — the manifest's tables are authoritative —
+// so the per-shard codec stays exactly the single-index format and a
+// shard file remains loadable as a plain index with ReadIndex.
+
+const (
+	manifestName    = "store.json"
+	manifestVersion = 1
+	// placementSplitMix64 names the id→shard hash of manifest v1. The
+	// placement of persisted ids must survive reload, so the function is
+	// part of the format: a manifest naming an unknown placement is
+	// rejected rather than silently re-placed.
+	placementSplitMix64 = "splitmix64"
+)
+
+type storeManifest struct {
+	Version     int                  `json:"version"`
+	Placement   string               `json:"placement"`
+	Collections []collectionManifest `json:"collections"`
+}
+
+type collectionManifest struct {
+	Name     string           `json:"name"`
+	Shards   int              `json:"shards"`
+	NextID   int              `json:"next_id"`
+	Build    buildManifest    `json:"build"`
+	Defaults defaultsManifest `json:"defaults"`
+	// ShardFiles[i] is shard i's index file, relative to the collection
+	// directory. Each Save writes fresh uniquely-named files and only
+	// then swaps the manifest, so the files a live manifest references
+	// are never truncated or overwritten — a crash mid-save leaves the
+	// previous generation fully intact.
+	ShardFiles []string `json:"shard_files"`
+	// ShardGlobals[i] is shard i's strictly ascending local→global table.
+	ShardGlobals [][]int `json:"shard_globals"`
+}
+
+// buildManifest mirrors the scalar fields of Options (Progress does not
+// persist), with zero values meaning the library defaults as usual.
+type buildManifest struct {
+	Dimensions      int     `json:"dimensions,omitempty"`
+	Tau             float64 `json:"tau,omitempty"`
+	MaxPatternEdges int     `json:"max_pattern_edges,omitempty"`
+	MaxCandidates   int     `json:"max_candidates,omitempty"`
+	Metric          int     `json:"metric,omitempty"`
+	Algorithm       int     `json:"algorithm,omitempty"`
+	PartitionSize   int     `json:"partition_size,omitempty"`
+	MCSBudget       int64   `json:"mcs_budget,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	Iterations      int     `json:"iterations,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+}
+
+func toBuildManifest(o Options) buildManifest {
+	return buildManifest{
+		Dimensions:      o.Dimensions,
+		Tau:             o.Tau,
+		MaxPatternEdges: o.MaxPatternEdges,
+		MaxCandidates:   o.MaxCandidates,
+		Metric:          int(o.Metric),
+		Algorithm:       int(o.Algorithm),
+		PartitionSize:   o.PartitionSize,
+		MCSBudget:       o.MCSBudget,
+		Seed:            o.Seed,
+		Iterations:      o.Iterations,
+		Workers:         o.Workers,
+	}
+}
+
+func (m buildManifest) options() Options {
+	return Options{
+		Dimensions:      m.Dimensions,
+		Tau:             m.Tau,
+		MaxPatternEdges: m.MaxPatternEdges,
+		MaxCandidates:   m.MaxCandidates,
+		Metric:          Metric(m.Metric),
+		Algorithm:       Algorithm(m.Algorithm),
+		PartitionSize:   m.PartitionSize,
+		MCSBudget:       m.MCSBudget,
+		Seed:            m.Seed,
+		Iterations:      m.Iterations,
+		Workers:         m.Workers,
+	}
+}
+
+// defaultsManifest mirrors the scalar fields of SearchOptions (Predicate
+// does not persist).
+type defaultsManifest struct {
+	K             int    `json:"k,omitempty"`
+	Engine        string `json:"engine,omitempty"`
+	VerifyFactor  int    `json:"verify_factor,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+	Metric        int    `json:"metric,omitempty"`
+}
+
+func toDefaultsManifest(o SearchOptions) defaultsManifest {
+	m := defaultsManifest{
+		K:             o.K,
+		VerifyFactor:  o.VerifyFactor,
+		MaxCandidates: o.MaxCandidates,
+		Metric:        int(o.Metric),
+	}
+	if o.Engine != EngineMapped {
+		m.Engine = o.Engine.String()
+	}
+	return m
+}
+
+func (m defaultsManifest) options() (SearchOptions, error) {
+	o := SearchOptions{
+		K:             m.K,
+		VerifyFactor:  m.VerifyFactor,
+		MaxCandidates: m.MaxCandidates,
+		Metric:        MetricChoice(m.Metric),
+	}
+	if m.Engine != "" {
+		e, err := ParseEngine(m.Engine)
+		if err != nil {
+			return o, err
+		}
+		o.Engine = e
+	}
+	return o, nil
+}
+
+// shardPattern names a new shard file; the "*" is replaced by a unique
+// token (os.CreateTemp), so successive saves never touch each other's
+// files.
+func shardPattern(shard int) string {
+	return fmt.Sprintf("shard-%04d-*.gdx", shard)
+}
+
+// Save persists the whole store under dir: one freshly named index file
+// per shard, written in parallel under the store budget, then the
+// manifest — written last and atomically (temp file + rename). Files
+// referenced by an existing manifest are never truncated or overwritten,
+// so a crash or error at any point leaves the previous on-disk generation
+// fully loadable; files the new manifest supersedes (and the debris of
+// failed saves) are deleted only after the swap. Save may run
+// concurrently with queries; each collection's writers are paused while
+// its shard files stream out, so a multi-shard Add is either fully in the
+// saved image or fully absent — never split across shards. Saves of one
+// Store are serialized with each other (the sweep must not race another
+// save's in-flight files); saving the same directory from two different
+// Store values is not supported.
+func (s *Store) Save(dir string) error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("graphdim: save store: %w", err)
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.collections))
+	colls := make([]*Collection, 0, len(s.collections))
+	for name := range s.collections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		colls = append(colls, s.collections[name])
+	}
+	s.mu.RUnlock()
+
+	man := storeManifest{Version: manifestVersion, Placement: placementSplitMix64}
+	for _, c := range colls {
+		cdir := filepath.Join(dir, c.name)
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			return fmt.Errorf("graphdim: save store: %w", err)
+		}
+		cm := collectionManifest{
+			Name:         c.name,
+			Shards:       len(c.shards),
+			Build:        toBuildManifest(c.build),
+			Defaults:     toDefaultsManifest(c.defaults),
+			ShardFiles:   make([]string, len(c.shards)),
+			ShardGlobals: make([][]int, len(c.shards)),
+		}
+		// Holding the collection writer lock across all shard writes keeps
+		// the saved image transactionally consistent: an Add spanning
+		// several shards is either fully included or fully excluded.
+		// Readers are unaffected; writers to this collection wait.
+		c.addMu.Lock()
+		errs := make([]error, len(c.shards))
+		_ = s.budget.ForContext(context.Background(), len(c.shards), func(i int) {
+			cm.ShardFiles[i], cm.ShardGlobals[i], errs[i] = c.shards[i].save(cdir, i)
+		})
+		cm.NextID = int(c.nextID.Load())
+		c.addMu.Unlock()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("graphdim: save %s shard %d: %w", c.name, i, err)
+			}
+		}
+		man.Collections = append(man.Collections, cm)
+	}
+
+	data, err := json.MarshalIndent(&man, "", " ")
+	if err != nil {
+		return fmt.Errorf("graphdim: save store: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("graphdim: save store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("graphdim: save store: %w", err)
+	}
+	sweepOrphans(dir, man)
+	return nil
+}
+
+// sweepOrphans deletes shard files the just-installed manifest does not
+// reference: superseded generations, the debris of failed saves, and the
+// directories of collections dropped since the previous save. Best-effort
+// — an undeleted orphan costs disk, never correctness.
+func sweepOrphans(dir string, man storeManifest) {
+	live := make(map[string]map[string]bool, len(man.Collections))
+	for _, cm := range man.Collections {
+		keep := make(map[string]bool, len(cm.ShardFiles))
+		for _, f := range cm.ShardFiles {
+			keep[f] = true
+		}
+		live[cm.Name] = keep
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, d := range entries {
+		// Only directories matching the collection-name grammar are
+		// Save's to manage; anything else in dir is left alone.
+		if !d.IsDir() || !collectionName.MatchString(d.Name()) {
+			continue
+		}
+		keep := live[d.Name()] // nil (keep nothing) for dropped collections
+		cdir := filepath.Join(dir, d.Name())
+		files, err := os.ReadDir(cdir)
+		if err != nil {
+			continue
+		}
+		for _, e := range files {
+			name := e.Name()
+			if !keep[name] && strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".gdx") {
+				os.Remove(filepath.Join(cdir, name))
+			}
+		}
+		if keep == nil {
+			// Dropped collection: remove its directory if now empty.
+			os.Remove(cdir)
+		}
+	}
+}
+
+// save writes the shard's index to a fresh uniquely named file in cdir
+// and returns its basename plus the id table matching exactly the
+// snapshot written. The writer lock is held for the duration: readers
+// proceed, writers to this shard wait. Nothing pre-existing is touched.
+func (sh *shard) save(cdir string, i int) (string, []int, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.state.Load()
+	f, err := os.CreateTemp(cdir, shardPattern(i))
+	if err != nil {
+		return "", nil, err
+	}
+	name := filepath.Base(f.Name())
+	if _, err := st.idx.WriteTo(f); err != nil {
+		f.Close()
+		return "", nil, err
+	}
+	if err := f.Close(); err != nil {
+		return "", nil, err
+	}
+	// Under mu the table cannot outrun the index; copy defensively anyway.
+	globals := append([]int(nil), st.globals[:st.idx.TotalGraphs()]...)
+	return name, globals, nil
+}
+
+// OpenStore loads a store previously written by Save, reading the shard
+// indexes in parallel under the new store's budget. The options configure
+// the returned store exactly as NewStore does — the compaction policy and
+// worker budget are runtime settings, not persisted state.
+func OpenStore(dir string, opt StoreOptions) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("graphdim: open store: %w", err)
+	}
+	var man storeManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("graphdim: open store: decode manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("graphdim: open store: unsupported manifest version %d", man.Version)
+	}
+	if man.Placement != placementSplitMix64 {
+		return nil, fmt.Errorf("graphdim: open store: unknown placement %q", man.Placement)
+	}
+
+	s := NewStore(opt)
+	for _, cm := range man.Collections {
+		c, err := s.loadCollection(dir, cm)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("graphdim: open store: collection %q: %w", cm.Name, err)
+		}
+		s.mu.Lock()
+		if _, ok := s.collections[cm.Name]; ok {
+			s.mu.Unlock()
+			s.Close()
+			return nil, fmt.Errorf("graphdim: open store: duplicate collection %q", cm.Name)
+		}
+		s.collections[cm.Name] = c
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+func (s *Store) loadCollection(dir string, cm collectionManifest) (*Collection, error) {
+	if !collectionName.MatchString(cm.Name) {
+		return nil, fmt.Errorf("invalid name")
+	}
+	if cm.Shards < 1 || cm.Shards > maxShards {
+		return nil, fmt.Errorf("shard count %d outside [1,%d]", cm.Shards, maxShards)
+	}
+	if len(cm.ShardGlobals) != cm.Shards {
+		return nil, fmt.Errorf("%d id tables for %d shards", len(cm.ShardGlobals), cm.Shards)
+	}
+	if len(cm.ShardFiles) != cm.Shards {
+		return nil, fmt.Errorf("%d shard files for %d shards", len(cm.ShardFiles), cm.Shards)
+	}
+	for i, f := range cm.ShardFiles {
+		// Basenames only: a hand-edited manifest must not escape the
+		// collection directory.
+		if f == "" || f != filepath.Base(f) {
+			return nil, fmt.Errorf("shard %d: invalid file name %q", i, f)
+		}
+	}
+	build := cm.Build.options()
+	defaults, err := cm.Defaults.options()
+	if err != nil {
+		return nil, err
+	}
+	// Same domain checks as create time, so a hand-edited manifest fails
+	// at open rather than as confusing per-query errors later.
+	if err := (CollectionOptions{Shards: cm.Shards, Build: build, Defaults: defaults}).validate(); err != nil {
+		return nil, err
+	}
+
+	c := &Collection{
+		store:    s,
+		name:     cm.Name,
+		build:    build,
+		defaults: defaults,
+		shards:   make([]*shard, cm.Shards),
+	}
+	c.nextID.Store(int64(cm.NextID))
+	errs := make([]error, cm.Shards)
+	_ = s.budget.ForContext(context.Background(), cm.Shards, func(i int) {
+		errs[i] = func() error {
+			f, err := os.Open(filepath.Join(dir, cm.Name, cm.ShardFiles[i]))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			idx, err := ReadIndex(f)
+			if err != nil {
+				return err
+			}
+			// ReadIndex hands out a full per-CPU worker bound; a shard
+			// gets its per-shard share, like CreateFromIndex's shards.
+			idx.workers = c.shardIdxWorkers()
+			globals := cm.ShardGlobals[i]
+			if len(globals) != idx.TotalGraphs() {
+				return fmt.Errorf("shard %d: %d ids in manifest for %d graphs", i, len(globals), idx.TotalGraphs())
+			}
+			for j, g := range globals {
+				if g < 0 || g >= cm.NextID {
+					return fmt.Errorf("shard %d: id %d outside [0,%d)", i, g, cm.NextID)
+				}
+				if j > 0 && globals[j-1] >= g {
+					return fmt.Errorf("shard %d: id table not strictly ascending at %d", i, j)
+				}
+				if placeID(g, cm.Shards) != i {
+					return fmt.Errorf("shard %d: id %d places on shard %d", i, g, placeID(g, cm.Shards))
+				}
+			}
+			c.shards[i] = newShard(&shardState{idx: idx, globals: append([]int(nil), globals...)})
+			return nil
+		}()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -102,6 +102,13 @@ type SearchOptions struct {
 	// and the graph itself; it must be cheap (it runs inside the scan)
 	// and safe for concurrent calls (SearchBatch fans out).
 	Predicate func(id int, g *Graph) bool
+	// NoDefaults disables the collection-level defaults overlay in
+	// Collection.Search: zero-valued fields then mean the library
+	// defaults, exactly as in Index.Search. It lets a caller request the
+	// zero-valued settings (EngineMapped, VerifyFactor 3, …) explicitly
+	// on a collection whose defaults say otherwise. Index.Search ignores
+	// it.
+	NoDefaults bool
 }
 
 // Validate reports whether the options are usable: K must be positive,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/topk"
+	"repro/internal/vecspace"
 )
 
 func TestOptionsValidation(t *testing.T) {
@@ -377,5 +378,99 @@ func TestEngineParseAndString(t *testing.T) {
 	}
 	if _, err := ParseEngine("warp"); err == nil {
 		t.Error("ParseEngine accepted garbage")
+	}
+}
+
+// TestEngineStringUnknown pins the fallback formatting of out-of-domain
+// engines — they must still print something greppable and never parse.
+func TestEngineStringUnknown(t *testing.T) {
+	if got := Engine(42).String(); got != "engine(42)" {
+		t.Errorf("Engine(42).String() = %q, want \"engine(42)\"", got)
+	}
+	if _, err := ParseEngine(Engine(42).String()); err == nil {
+		t.Error("ParseEngine accepted the unknown-engine placeholder")
+	}
+	if _, err := ParseEngine(""); err == nil {
+		t.Error("ParseEngine accepted the empty string")
+	}
+}
+
+func dimensionBitsFrom(p int, set ...int) DimensionBits {
+	v := vecspace.NewBitVector(p)
+	for _, r := range set {
+		v.Set(r)
+	}
+	return dimensionBits(v)
+}
+
+func TestDimensionBitsEmpty(t *testing.T) {
+	for _, p := range []int{0, 1, 64, 65, 130} {
+		b := dimensionBitsFrom(p)
+		if b.Len() != p {
+			t.Errorf("p=%d: Len() = %d", p, b.Len())
+		}
+		if b.Count() != 0 {
+			t.Errorf("p=%d: Count() = %d, want 0", p, b.Count())
+		}
+		if got := b.Indices(); len(got) != 0 {
+			t.Errorf("p=%d: Indices() = %v, want empty", p, got)
+		}
+		for _, r := range []int{-1, 0, p - 1, p, p + 64} {
+			if b.Contains(r) {
+				t.Errorf("p=%d: empty set Contains(%d)", p, r)
+			}
+		}
+	}
+}
+
+func TestDimensionBitsFull(t *testing.T) {
+	for _, p := range []int{1, 63, 64, 65, 130} {
+		all := make([]int, p)
+		for i := range all {
+			all[i] = i
+		}
+		b := dimensionBitsFrom(p, all...)
+		if b.Count() != p {
+			t.Errorf("p=%d: Count() = %d, want %d", p, b.Count(), p)
+		}
+		got := b.Indices()
+		if len(got) != p {
+			t.Fatalf("p=%d: Indices() has %d entries, want %d", p, len(got), p)
+		}
+		for i, r := range got {
+			if r != i {
+				t.Fatalf("p=%d: Indices()[%d] = %d, want %d", p, i, r, i)
+			}
+		}
+		for i := 0; i < p; i++ {
+			if !b.Contains(i) {
+				t.Errorf("p=%d: full set missing %d", p, i)
+			}
+		}
+		// Out-of-range stays false even on the full set.
+		if b.Contains(-1) || b.Contains(p) {
+			t.Errorf("p=%d: Contains out of range returned true", p)
+		}
+	}
+}
+
+func TestDimensionBitsSparse(t *testing.T) {
+	b := dimensionBitsFrom(130, 0, 63, 64, 129)
+	if b.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", b.Count())
+	}
+	want := []int{0, 63, 64, 129}
+	if got := b.Indices(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Indices() = %v, want %v", got, want)
+	}
+	for _, r := range want {
+		if !b.Contains(r) {
+			t.Errorf("Contains(%d) = false", r)
+		}
+	}
+	for _, r := range []int{1, 62, 65, 128} {
+		if b.Contains(r) {
+			t.Errorf("Contains(%d) = true", r)
+		}
 	}
 }

@@ -1,0 +1,821 @@
+package graphdim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/vecspace"
+)
+
+// Store manages named collections of sharded indexes — the layer between
+// the single-Index library and a serving process. Each collection splits
+// its database across N shards by hashing global ids; Add and persistence
+// parallelize per shard, Search fans out across shards and merges the
+// per-shard top-k heaps into one globally ranked result, and a background
+// compactor rebuilds any shard whose StaleRatio crosses the store's policy
+// threshold while readers keep serving (see CompactionPolicy).
+//
+// All methods are safe for concurrent use. Cross-shard fan-out draws
+// workers from one store-wide pool.Budget, bounding the extra goroutines
+// concurrent searches, adds, and saves spend on fan-out at
+// StoreOptions.Workers in total; a collection's per-shard index workers
+// are divided across its shards at creation so shard-internal fan-out
+// does not multiply with the shard count. Compaction rebuilds use the
+// collection's Build.Workers and run one shard at a time.
+type Store struct {
+	budget *pool.Budget
+	policy CompactionPolicy
+	onComp func(collection string, shard int, err error)
+
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	closed      bool
+	// saveMu serializes Save calls: a save sweeps files the just-written
+	// manifest does not reference, which would delete a concurrent save's
+	// in-flight shard files.
+	saveMu sync.Mutex
+
+	stop     chan struct{}
+	done     chan struct{}
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
+}
+
+// CompactionPolicy decides when the store rebuilds a shard in the
+// background.
+type CompactionPolicy struct {
+	// StaleThreshold is the StaleRatio at or above which a shard is
+	// rebuilt. Zero means the default 0.3 (the EXPERIMENTS.md starting
+	// point); a negative value disables threshold-triggered compaction
+	// (Collection.Compact with force still works).
+	StaleThreshold float64
+	// Interval is how often the background compactor scans every shard of
+	// every collection. Zero disables the background loop entirely —
+	// compaction then runs only through Collection.Compact.
+	Interval time.Duration
+}
+
+func (p CompactionPolicy) threshold() float64 {
+	if p.StaleThreshold == 0 {
+		return 0.3
+	}
+	return p.StaleThreshold
+}
+
+// enabled reports whether threshold-triggered compaction is on.
+func (p CompactionPolicy) enabled() bool { return p.StaleThreshold >= 0 }
+
+// StoreOptions configures NewStore.
+type StoreOptions struct {
+	// Workers is the shared cross-shard worker budget: the number of extra
+	// goroutines the whole store may use at once for shard fan-out
+	// (search, add, save/load). Zero or negative means one per CPU. Each
+	// shard operation additionally runs on its calling goroutine, so fan-
+	// out makes progress even with the budget exhausted.
+	Workers int
+	// Compaction is the background rebuild policy.
+	Compaction CompactionPolicy
+	// OnCompaction, when non-nil, is called after every completed or
+	// failed compaction attempt with the collection, shard, and error
+	// (nil on success) — the hook serving layers log from. It must be
+	// safe for concurrent calls.
+	OnCompaction func(collection string, shard int, err error)
+}
+
+// NewStore returns an empty store and, if the policy has an interval,
+// starts its background compactor. Close stops it.
+func NewStore(opt StoreOptions) *Store {
+	s := &Store{
+		budget:      pool.NewBudget(opt.Workers),
+		policy:      opt.Compaction,
+		onComp:      opt.OnCompaction,
+		collections: make(map[string]*Collection),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	s.bgCtx, s.bgCancel = context.WithCancel(context.Background())
+	if s.policy.Interval > 0 && s.policy.enabled() {
+		go s.compactLoop()
+	} else {
+		close(s.done)
+	}
+	return s
+}
+
+// Close stops the background compactor, cancelling any rebuild it has in
+// flight (the shard being rebuilt is left on its old generation), and
+// waits for the loop to exit. The collections stay usable; Close only ends
+// the background activity. It is idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.bgCancel()
+	close(s.stop)
+	<-s.done
+}
+
+func (s *Store) compactLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.policy.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.compactPass(s.bgCtx)
+		}
+	}
+}
+
+// compactPass rebuilds every shard at or above the stale threshold, one at
+// a time — compaction is a full offline build, so the pass deliberately
+// avoids stacking rebuilds on top of each other.
+func (s *Store) compactPass(ctx context.Context) {
+	for _, c := range s.snapshotCollections() {
+		for i, sh := range c.shards {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if sh.staleRatio() < s.policy.threshold() {
+				continue
+			}
+			ran, err := sh.tryCompact(ctx, c.build, c.shardIdxWorkers())
+			if err == errShardTooSmall || (err != nil && ctx.Err() != nil) {
+				// Too small to rebuild, or cancelled by Close: not worth
+				// reporting every scan.
+				continue
+			}
+			if (ran || err != nil) && s.onComp != nil {
+				s.onComp(c.name, i, err)
+			}
+		}
+	}
+}
+
+func (s *Store) snapshotCollections() []*Collection {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		out = append(out, c)
+	}
+	return out
+}
+
+// collectionName constrains names to URL- and filesystem-safe tokens: the
+// name becomes both a /v1 path segment and a directory under Save.
+var collectionName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,127}$`)
+
+// CollectionOptions configures Create and CreateFromIndex.
+type CollectionOptions struct {
+	// Shards is the number of index shards; zero means 1.
+	Shards int
+	// Build configures the initial dimension selection (Create only) and
+	// every subsequent per-shard compaction rebuild. Zero values select
+	// the library defaults, as in Build. The Progress callback is used
+	// only by the initial build, never by background rebuilds.
+	Build Options
+	// Defaults overlays zero-valued SearchOptions fields of every Search
+	// against the collection: a query leaving K (or VerifyFactor,
+	// MaxCandidates, Metric, Engine, Predicate) at its zero value gets the
+	// collection's default before validation, and fields the defaults also
+	// leave zero keep the library default. Note the overlay cannot
+	// distinguish "unset" from an explicit zero, so a collection whose
+	// default Engine is not EngineMapped (= 0) routes zero-Engine queries
+	// to that default.
+	Defaults SearchOptions
+}
+
+func (o CollectionOptions) validate() error {
+	if o.Shards < 0 {
+		return fmt.Errorf("graphdim: Shards must be >= 0 (0 = 1 shard), got %d", o.Shards)
+	}
+	if o.Shards > maxShards {
+		return fmt.Errorf("graphdim: Shards must be <= %d, got %d", maxShards, o.Shards)
+	}
+	if err := o.Build.Validate(); err != nil {
+		return err
+	}
+	// Defaults are a partial SearchOptions: K may stay zero ("no
+	// collection default"), but every set field must be in domain.
+	d := o.Defaults
+	if d.K < 0 {
+		return fmt.Errorf("graphdim: Defaults.K must be >= 0, got %d", d.K)
+	}
+	if d.K == 0 {
+		d.K = 1 // satisfy the full validator for the remaining fields
+	}
+	return d.Validate()
+}
+
+func (o CollectionOptions) shards() int {
+	if o.Shards == 0 {
+		return 1
+	}
+	return o.Shards
+}
+
+// maxShards bounds the shard count well above any sane deployment: each
+// shard is a full index with its own dimension set after compaction.
+const maxShards = 1024
+
+// Collection is one named, sharded graph database inside a Store. Global
+// ids are assigned densely in insertion order and are stable for the life
+// of the collection, across Save/Open and across compactions; the hash
+// placement of an id never changes.
+type Collection struct {
+	store    *Store
+	name     string
+	build    Options
+	defaults SearchOptions
+	shards   []*shard
+
+	addMu sync.Mutex // serializes writers (Add, Remove) collection-wide
+	// nextID is written under addMu; atomic so read-only paths (Stats)
+	// never block behind a long Add or Save holding the writer lock.
+	nextID atomic.Int64
+}
+
+// Create builds a new collection from db: one dimension selection over the
+// full database (so every shard starts in the same mapped space and a
+// sharded search is exactly equivalent to an unsharded one), then a split
+// across opt.Shards shards by hash placement. The build is the expensive
+// offline pipeline of BuildContext and honours ctx.
+func (s *Store) Create(ctx context.Context, name string, db []*Graph, opt CollectionOptions) (*Collection, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	// Fail fast on a bad or taken name — the build below is minutes of
+	// CPU. A create racing this check to the same name is still caught at
+	// the insert inside CreateFromIndex.
+	if !collectionName.MatchString(name) {
+		return nil, fmt.Errorf("graphdim: invalid collection name %q (want [a-zA-Z0-9][a-zA-Z0-9._-]*, at most 128 chars)", name)
+	}
+	s.mu.RLock()
+	_, taken := s.collections[name]
+	s.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("graphdim: collection %q already exists", name)
+	}
+	idx, err := BuildContext(ctx, db, opt.Build)
+	if err != nil {
+		return nil, err
+	}
+	return s.CreateFromIndex(name, idx, opt)
+}
+
+// CreateFromIndex splits an already built (or loaded) index into a sharded
+// collection without re-mining or re-running DSPM: every graph keeps its
+// id — the global id — and lands on the shard the id hashes to; shards
+// share the index's dimension set until their first compaction. The source
+// index should not be mutated afterwards (graphs and vectors are shared,
+// not copied).
+func (s *Store) CreateFromIndex(name string, src *Index, opt CollectionOptions) (*Collection, error) {
+	if src == nil {
+		return nil, fmt.Errorf("graphdim: nil index")
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if !collectionName.MatchString(name) {
+		return nil, fmt.Errorf("graphdim: invalid collection name %q (want [a-zA-Z0-9][a-zA-Z0-9._-]*, at most 128 chars)", name)
+	}
+
+	nsh := opt.shards()
+	snap := src.snap.Load()
+	type acc struct {
+		db        []*Graph
+		vectors   []*vecspace.BitVector
+		dead      []bool
+		deadCount int
+		globals   []int
+		// baseN/baseDead carry the source's staleness bookkeeping into
+		// the shard: ids below the source's baseN predate its dimension
+		// selection, and since ids append in ascending order they are
+		// exactly the part's leading entries.
+		baseN, baseDead int
+	}
+	parts := make([]acc, nsh)
+	for id := range snap.db {
+		p := &parts[placeID(id, nsh)]
+		p.db = append(p.db, snap.db[id])
+		p.vectors = append(p.vectors, snap.vectors[id])
+		p.dead = append(p.dead, snap.dead[id])
+		if snap.dead[id] {
+			p.deadCount++
+		}
+		if id < snap.baseN {
+			p.baseN++
+			if snap.dead[id] {
+				p.baseDead++
+			}
+		}
+		p.globals = append(p.globals, id)
+	}
+	c := &Collection{
+		store:    s,
+		name:     name,
+		build:    opt.Build,
+		defaults: opt.Defaults,
+		shards:   make([]*shard, nsh),
+	}
+	c.nextID.Store(int64(len(snap.db)))
+	// Divide the source index's worker bound across the shards: the
+	// cross-shard budget already parallelizes shard-level fan-out, so
+	// giving every shard the full bound would run shards × workers
+	// goroutines for one Add.
+	shardWorkers := src.workers / nsh
+	if shardWorkers < 1 {
+		shardWorkers = 1
+	}
+	for i := range c.shards {
+		p := parts[i]
+		c.shards[i] = newShard(&shardState{
+			idx: newIndex(src.features, src.weights, src.metric, src.mcsOpt, shardWorkers, &snapshot{
+				db:        p.db,
+				vectors:   p.vectors,
+				dead:      p.dead,
+				deadCount: p.deadCount,
+				baseN:     p.baseN,
+				baseDead:  p.baseDead,
+			}),
+			globals: p.globals,
+		})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; ok {
+		return nil, fmt.Errorf("graphdim: collection %q already exists", name)
+	}
+	s.collections[name] = c
+	return c, nil
+}
+
+// Collection returns the named collection, if it exists.
+func (s *Store) Collection(name string) (*Collection, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[name]
+	return c, ok
+}
+
+// Collections returns the collection names in lexical order.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.collections))
+	for name := range s.collections {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes the named collection from the store. In-flight operations
+// against the collection finish normally — the collection object stays
+// valid, it just stops being reachable by name.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; !ok {
+		return fmt.Errorf("graphdim: collection %q not found", name)
+	}
+	delete(s.collections, name)
+	return nil
+}
+
+// Name returns the collection's name.
+func (c *Collection) Name() string { return c.name }
+
+// Shards returns the number of shards.
+func (c *Collection) Shards() int { return len(c.shards) }
+
+// Defaults returns the collection's default search-option overlay.
+func (c *Collection) Defaults() SearchOptions { return c.defaults }
+
+// shardIdxWorkers is the per-shard share of the collection's worker
+// bound — the steady-state internal fan-out each shard index gets, so
+// that shard-internal parallelism does not multiply with the shard count.
+func (c *Collection) shardIdxWorkers() int {
+	w := pool.DefaultWorkers(c.build.Workers) / len(c.shards)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Size returns the number of live (searchable) graphs across all shards.
+func (c *Collection) Size() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.state.Load().idx.Size()
+	}
+	return n
+}
+
+// Graph resolves a global id. Tombstoned graphs remain addressable, as in
+// Index.Graph, until the owning shard's next compaction reclaims them
+// (a compacted shard keeps only its live graphs); ids never assigned,
+// beyond the store, or reclaimed return false.
+func (c *Collection) Graph(id int) (*Graph, bool) {
+	if id < 0 {
+		return nil, false
+	}
+	return c.shards[placeID(id, len(c.shards))].graph(id)
+}
+
+// overlay fills zero-valued fields of opt from the collection defaults —
+// see CollectionOptions.Defaults and SearchOptions.NoDefaults.
+func (c *Collection) overlay(opt SearchOptions) SearchOptions {
+	if opt.NoDefaults {
+		return opt
+	}
+	d := c.defaults
+	if opt.K == 0 {
+		opt.K = d.K
+	}
+	if opt.Engine == 0 {
+		opt.Engine = d.Engine
+	}
+	if opt.VerifyFactor == 0 {
+		opt.VerifyFactor = d.VerifyFactor
+	}
+	if opt.MaxCandidates == 0 {
+		opt.MaxCandidates = d.MaxCandidates
+	}
+	if opt.Metric == MetricIndexDefault {
+		opt.Metric = d.Metric
+	}
+	if opt.Predicate == nil {
+		opt.Predicate = d.Predicate
+	}
+	return opt
+}
+
+// Search answers one top-k query against the collection: the query fans
+// out to every shard in parallel (drawing workers from the store budget),
+// each shard ranks its slice of the database, and the per-shard top-k
+// lists merge into one globally ranked result with ties broken by
+// ascending global id. For a collection whose shards still share the
+// build-time dimension set — always true before the first compaction —
+// the merged mapped/exact result is exactly the one an unsharded Index
+// over the same graphs returns: identical ids and identical scores. After
+// a shard has been compacted it ranks in its own (re-selected) mapped
+// space; exact and fully verified scores remain directly comparable.
+//
+// SearchOptions is the same type Index.Search takes; zero-valued fields
+// first take the collection's defaults (see CollectionOptions.Defaults).
+// The Predicate, like the returned Results, sees global ids. The result's
+// Matched bitset is the first shard's view of the query.
+func (c *Collection) Search(ctx context.Context, q *Graph, opt SearchOptions) (*SearchResult, error) {
+	start := time.Now()
+	opt = c.overlay(opt)
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	userPred := opt.Predicate
+
+	outs := make([]shardOut, len(c.shards))
+	_ = c.store.budget.ForContext(ctx, len(c.shards), func(i int) {
+		st := c.shards[i].state.Load()
+		sopt := opt
+		n := len(st.globals)
+		// The table bound makes the composite (index, table) read
+		// consistent even when an Add publishes between the two loads;
+		// the user predicate runs in global-id space.
+		sopt.Predicate = func(local int, g *Graph) bool {
+			return local < n && (userPred == nil || userPred(st.globals[local], g))
+		}
+		res, err := st.idx.Search(ctx, q, sopt)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		ids := make([]int, len(res.Results))
+		for j, r := range res.Results {
+			ids[j] = st.globals[r.ID]
+		}
+		outs[i] = shardOut{res: res, ids: ids}
+	})
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		if outs[i].res == nil { // fan-out cut short by cancellation
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("graphdim: shard %d produced no result", i)
+		}
+	}
+
+	merged := &SearchResult{
+		Results: mergeTopK(outs, opt.K),
+		Engine:  opt.Engine,
+		Matched: outs[0].res.Matched,
+	}
+	for i := range outs {
+		merged.Candidates += outs[i].res.Candidates
+	}
+	merged.Elapsed = time.Since(start)
+	return merged, nil
+}
+
+// SearchBatch answers many queries with the same options. Each query fans
+// out across the shards in turn; like Index.SearchBatch the batch fails as
+// a unit on the first error in query order.
+func (c *Collection) SearchBatch(ctx context.Context, queries []*Graph, opt SearchOptions) ([]*SearchResult, error) {
+	out := make([]*SearchResult, len(queries))
+	for i, q := range queries {
+		res, err := c.Search(ctx, q, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// shardOut is one shard's contribution to a fan-out search: the shard
+// result plus its Results translated to global ids.
+type shardOut struct {
+	res *SearchResult
+	ids []int
+	err error
+}
+
+// shardCursor is one entry of the k-way merge heap: a position in a
+// shard's (already sorted) ranked list.
+type shardCursor struct {
+	out *shardOut
+	pos int
+}
+
+type mergeHeap []shardCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	da, db := a.out.res.Results[a.pos].Distance, b.out.res.Results[b.pos].Distance
+	if da != db {
+		return da < db
+	}
+	return a.out.ids[a.pos] < b.out.ids[b.pos]
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(shardCursor)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// mergeTopK k-way-merges the per-shard ranked lists — each already sorted
+// ascending by (score, global id) — into the global top k with the same
+// order, via a heap of shard cursors.
+func mergeTopK(outs []shardOut, k int) []Result {
+	h := make(mergeHeap, 0, len(outs))
+	for i := range outs {
+		if len(outs[i].res.Results) > 0 {
+			h = append(h, shardCursor{out: &outs[i], pos: 0})
+		}
+	}
+	heap.Init(&h)
+	merged := make([]Result, 0, k)
+	for len(h) > 0 && len(merged) < k {
+		cur := h[0]
+		merged = append(merged, Result{
+			ID:       cur.out.ids[cur.pos],
+			Distance: cur.out.res.Results[cur.pos].Distance,
+		})
+		if cur.pos+1 < len(cur.out.res.Results) {
+			h[0].pos++
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return merged
+}
+
+// Add maps new graphs into the collection: each graph gets the next global
+// id, lands on the shard its id hashes to, and the per-shard VF2 mapping
+// fans out under the store budget. The returned ids align with gs. Writers
+// are serialized collection-wide; readers are never blocked (each shard
+// publishes copy-on-write state). Each shard applies its slice atomically,
+// but a mid-batch error — cancellation included — can leave the slices of
+// shards that already finished applied; the error reports that.
+func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
+	for i, g := range gs {
+		if g == nil {
+			return nil, fmt.Errorf("graphdim: nil graph at index %d", i)
+		}
+	}
+	if len(gs) == 0 {
+		return nil, nil
+	}
+	c.addMu.Lock()
+	defer c.addMu.Unlock()
+
+	ids := make([]int, len(gs))
+	perShard := make(map[int]*shardBatch)
+	var order []int
+	for i := range gs {
+		id := int(c.nextID.Load()) + i
+		ids[i] = id
+		sh := placeID(id, len(c.shards))
+		b := perShard[sh]
+		if b == nil {
+			b = &shardBatch{}
+			perShard[sh] = b
+			order = append(order, sh)
+		}
+		b.gs = append(b.gs, gs[i])
+		b.globals = append(b.globals, id)
+	}
+
+	errs := make([]error, len(order))
+	ran := make([]bool, len(order))
+	_ = c.store.budget.ForContext(ctx, len(order), func(i int) {
+		ran[i] = true
+		b := perShard[order[i]]
+		errs[i] = c.shards[order[i]].add(ctx, b.gs, b.globals)
+	})
+	applied := 0
+	var firstErr error
+	for i := range order {
+		err := errs[i]
+		if !ran[i] {
+			// The fan-out skips a suffix only on cancellation.
+			err = ctx.Err()
+		}
+		switch {
+		case err == nil && ran[i]:
+			applied++
+		case err != nil && firstErr == nil:
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		if applied > 0 {
+			// Some shards already published their slice, so the batch's
+			// global ids are burned: advancing nextID keeps every
+			// published id unique forever, at the price of id gaps for the
+			// slices that never landed.
+			c.nextID.Add(int64(len(gs)))
+			return nil, fmt.Errorf("graphdim: add applied on %d of %d shards before failing: %w", applied, len(order), firstErr)
+		}
+		return nil, firstErr
+	}
+	c.nextID.Add(int64(len(gs)))
+	return ids, nil
+}
+
+type shardBatch struct {
+	gs      []*Graph
+	globals []int
+}
+
+// Remove tombstones the given global ids. Validation and application
+// happen per shard under the writer locks; an unknown or already-removed
+// id fails the whole call with no shard modified.
+func (c *Collection) Remove(ids ...int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	c.addMu.Lock()
+	defer c.addMu.Unlock()
+	perShard := make(map[int][]int)
+	for _, id := range ids {
+		if id < 0 || int64(id) >= c.nextID.Load() {
+			return fmt.Errorf("graphdim: id %d out of range [0,%d)", id, c.nextID.Load())
+		}
+		sh := placeID(id, len(c.shards))
+		perShard[sh] = append(perShard[sh], id)
+	}
+	// Validate everywhere before touching anything: writers are serialized
+	// by addMu and compaction preserves tombstone state, so a positive
+	// pre-check cannot be invalidated before the apply below.
+	for sh, globals := range perShard {
+		st := c.shards[sh].state.Load()
+		seen := make(map[int]bool, len(globals))
+		for _, g := range globals {
+			local := st.localOf(g)
+			if local < 0 {
+				return fmt.Errorf("graphdim: id %d not in store", g)
+			}
+			if st.idx.IsRemoved(local) || seen[g] {
+				return fmt.Errorf("graphdim: id %d already removed", g)
+			}
+			seen[g] = true
+		}
+	}
+	for sh, globals := range perShard {
+		if err := c.shards[sh].remove(globals); err != nil {
+			return fmt.Errorf("graphdim: remove on shard %d: %w", sh, err)
+		}
+	}
+	return nil
+}
+
+// StaleRatios returns each shard's StaleRatio, indexed by shard.
+func (c *Collection) StaleRatios() []float64 {
+	out := make([]float64, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.staleRatio()
+	}
+	return out
+}
+
+// Compact rebuilds shards synchronously: every shard whose StaleRatio is
+// at or above the store's policy threshold or — with force — every shard
+// with any staleness at all. Rebuilds run one shard at a time (each is a
+// full offline build); concurrent searches keep serving throughout. It
+// returns how many shards were rebuilt and the first error encountered,
+// having still attempted the remaining shards. Shards with fewer than two
+// live graphs are skipped silently.
+func (c *Collection) Compact(ctx context.Context, force bool) (int, error) {
+	threshold := c.store.policy.threshold()
+	compacted := 0
+	var firstErr error
+	for i, sh := range c.shards {
+		ratio := sh.staleRatio()
+		if force {
+			if ratio == 0 {
+				continue
+			}
+		} else if !c.store.policy.enabled() || ratio < threshold {
+			continue
+		}
+		ran, err := sh.tryCompact(ctx, c.build, c.shardIdxWorkers())
+		if err != nil && err != errShardTooSmall && firstErr == nil {
+			firstErr = fmt.Errorf("graphdim: compacting shard %d: %w", i, err)
+		}
+		if ran {
+			compacted++
+		}
+		if c.store.onComp != nil && (ran || (err != nil && err != errShardTooSmall)) {
+			c.store.onComp(c.name, i, err)
+		}
+	}
+	return compacted, firstErr
+}
+
+// ShardStats describes one shard for stats endpoints.
+type ShardStats struct {
+	// Live is the number of searchable graphs; Total counts id slots
+	// including tombstones.
+	Live, Total int
+	// Dimensions is the shard's current dimension count (it changes when
+	// a compaction re-selects dimensions).
+	Dimensions int
+	// StaleRatio is the shard index's StaleRatio.
+	StaleRatio float64
+	// Compactions counts completed rebuilds of this shard.
+	Compactions int64
+	// LastCompactionError is the most recent rebuild failure ("" when the
+	// last rebuild succeeded or none ran).
+	LastCompactionError string
+}
+
+// CollectionStats is the Stats snapshot of one collection.
+type CollectionStats struct {
+	Name   string
+	Live   int
+	NextID int
+	Shards []ShardStats
+}
+
+// Stats returns a point-in-time snapshot of the collection's shards.
+func (c *Collection) Stats() CollectionStats {
+	cs := CollectionStats{Name: c.name, Shards: make([]ShardStats, len(c.shards))}
+	for i, sh := range c.shards {
+		st := sh.state.Load()
+		s := ShardStats{
+			Live:        st.idx.Size(),
+			Total:       st.idx.TotalGraphs(),
+			Dimensions:  len(st.idx.Dimensions()),
+			StaleRatio:  st.idx.StaleRatio(),
+			Compactions: sh.compactions.Load(),
+		}
+		if err := sh.lastCompactionErr(); err != nil {
+			s.LastCompactionError = err.Error()
+		}
+		cs.Live += s.Live
+		cs.Shards[i] = s
+	}
+	cs.NextID = int(c.nextID.Load())
+	return cs
+}

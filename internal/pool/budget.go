@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Budget is a fixed allotment of workers shared by any number of
+// concurrent parallel loops. Where For/ForContext give every call site its
+// own worker count — so k concurrent callers can occupy k×workers
+// goroutines — loops run through one Budget draw extra workers from a
+// single pot, bounding the process-wide fan-out no matter how many shards,
+// collections, or requests are in flight at once.
+//
+// The budget is cooperative, not blocking: a loop always runs on its
+// calling goroutine, and recruits extra workers only while tokens are
+// free. An exhausted budget therefore degrades every caller to a
+// sequential loop instead of deadlocking or queueing — total concurrency
+// is bounded by (callers + Workers()).
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget of n shared workers; n <= 0 means one worker
+// per CPU (DefaultWorkers).
+func NewBudget(n int) *Budget {
+	return &Budget{sem: make(chan struct{}, DefaultWorkers(n))}
+}
+
+// Workers returns the size of the shared allotment.
+func (b *Budget) Workers() int { return cap(b.sem) }
+
+// ForContext runs fn(i) for every i in [0, n) on the calling goroutine
+// plus up to min(n-1, free tokens) recruited workers. Like
+// pool.ForContext, fn must be safe to call concurrently for distinct i,
+// in-flight calls run to completion after cancellation, and a nil return
+// guarantees fn ran for every i.
+func (b *Budget) ForContext(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		select {
+		case b.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				drain(ctx, idx, fn)
+			}()
+			continue
+		default:
+		}
+		break // budget exhausted right now; the caller still works
+	}
+	drain(ctx, idx, fn)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// drain consumes indices until the channel closes or ctx is cancelled.
+func drain(ctx context.Context, idx <-chan int, fn func(i int)) {
+	done := ctx.Done()
+	for i := range idx {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		fn(i)
+	}
+}

@@ -1,0 +1,139 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBudgetRunsEveryIndex(t *testing.T) {
+	b := NewBudget(3)
+	var hits [50]atomic.Int32
+	if err := b.ForContext(context.Background(), len(hits), func(i int) {
+		hits[i].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestBudgetSharedAcrossLoops pins the point of Budget: k concurrent loops
+// over one budget stay within callers+budget workers in total, where the
+// same loops through pool.ForContext would occupy k×workers.
+func TestBudgetSharedAcrossLoops(t *testing.T) {
+	const (
+		budget  = 2
+		callers = 4
+		perLoop = 30
+	)
+	b := NewBudget(budget)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = b.ForContext(context.Background(), perLoop, func(int) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > callers+budget {
+		t.Fatalf("peak concurrency %d exceeds callers+budget = %d", got, callers+budget)
+	}
+}
+
+// TestBudgetExhaustedStillProgresses: with every token held hostage, a
+// loop must still complete on the calling goroutine alone.
+func TestBudgetExhaustedStillProgresses(t *testing.T) {
+	b := NewBudget(2)
+	for i := 0; i < b.Workers(); i++ {
+		b.sem <- struct{}{} // exhaust the budget
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var n atomic.Int32
+		if err := b.ForContext(context.Background(), 10, func(int) { n.Add(1) }); err != nil {
+			t.Errorf("ForContext: %v", err)
+		}
+		if n.Load() != 10 {
+			t.Errorf("ran %d of 10 indices", n.Load())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop deadlocked on an exhausted budget")
+	}
+}
+
+// TestBudgetTokensReleased: after a loop finishes, the full budget is free
+// again.
+func TestBudgetTokensReleased(t *testing.T) {
+	b := NewBudget(3)
+	for round := 0; round < 5; round++ {
+		if err := b.ForContext(context.Background(), 20, func(int) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < b.Workers(); i++ {
+		select {
+		case b.sem <- struct{}{}:
+		default:
+			t.Fatalf("token %d still held after loops returned", i)
+		}
+	}
+}
+
+func TestBudgetCancellation(t *testing.T) {
+	b := NewBudget(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int32
+	err := b.ForContext(ctx, 1000, func(i int) {
+		if n.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not skip any work (ran %d)", got)
+	}
+}
+
+func TestBudgetZeroAndNegativeN(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.ForContext(context.Background(), 0, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ForContext(context.Background(), -5, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetDefaultSize(t *testing.T) {
+	if got := NewBudget(0).Workers(); got != DefaultWorkers(0) {
+		t.Fatalf("NewBudget(0).Workers() = %d, want %d", got, DefaultWorkers(0))
+	}
+	if got := NewBudget(7).Workers(); got != 7 {
+		t.Fatalf("NewBudget(7).Workers() = %d, want 7", got)
+	}
+}
