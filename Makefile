@@ -8,15 +8,30 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
+# COVER_MIN gates `make cover`: the combined statement coverage of the
+# public API package and the posting accelerator under it.
+COVER_MIN ?= 80
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench cover
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order every run, so inter-test state
+# dependencies cannot hide; the seed prints on failure for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+
+# cover enforces the coverage floor on the packages this repository's
+# correctness story leans on hardest: the graphdim API (engines, cache,
+# store, persistence) and the posting-list accelerator.
+cover:
+	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting
+	@$(GO) tool cover -func=cover.out | awk '$$1 == "total:" { \
+		sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(COVER_MIN)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_MIN); exit 1 } \
+		else printf "coverage %.1f%% (floor $(COVER_MIN)%%)\n", $$3 }'
 
 # The concurrency-heavy packages: shard fan-out, compaction swaps, the
 # worker budget, and the HTTP layer on top of them.

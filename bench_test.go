@@ -510,6 +510,104 @@ func BenchmarkSearchEngines(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchSparse is the headline posting-list benchmark: one
+// mapped top-10 query against a 3000-graph index, pruned versus flat
+// (SearchOptions.NoPrune), on the workload pruning targets — a sparse
+// query whose DimensionBits touch few dimensions — plus a dense
+// database graph for honesty (the cost model falls back to the flat
+// scan there, so the two sub-benchmarks converge). The pruned/sparse
+// over flat/sparse ratio is the speedup BENCH_pr4.json records.
+func BenchmarkSearchSparse(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 3000, AvgEdges: 10, Labels: 6, Seed: 11})
+	idx, err := graphdim.Build(db, graphdim.Options{
+		Dimensions:      48,
+		Tau:             0.05,
+		MaxPatternEdges: 3,
+		MCSBudget:       500,
+		Algorithm:       graphdim.DSPMap,
+		Seed:            1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The sparse query: a small unseen graph over a disjoint label range,
+	// matching none of the index dimensions — the extreme the posting
+	// index makes O(k) instead of O(n).
+	sparse := graphdim.NewGraph(0)
+	sv0 := sparse.AddVertex(40)
+	sv1 := sparse.AddVertex(41)
+	sv2 := sparse.AddVertex(42)
+	sparse.MustAddEdge(sv0, sv1, 7)
+	sparse.MustAddEdge(sv1, sv2, 7)
+	// db[0] matches dimensions whose posting mass trips the cost model,
+	// so its pruned and flat sub-benchmarks run the identical scan.
+	dense := db[0]
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name    string
+		q       *graphdim.Graph
+		noPrune bool
+	}{
+		{"sparse/pruned", sparse, false},
+		{"sparse/flat", sparse, true},
+		{"dense/pruned", dense, false},
+		{"dense/flat", dense, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Search(ctx, bc.q, graphdim.SearchOptions{K: 10, NoPrune: bc.noPrune}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheHit measures the generation-keyed query cache: the same
+// query against a cached and an uncached collection. The hit path skips
+// the VF2 mapping and the scan entirely — expect >= 10x.
+func BenchmarkCacheHit(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 500, AvgEdges: 10, Labels: 6, Seed: 12})
+	idx, err := graphdim.Build(db, graphdim.Options{
+		Dimensions: 32, Tau: 0.05, MaxPatternEdges: 3, MCSBudget: 500,
+		Algorithm: graphdim.DSPMap, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := db[7]
+	for _, bc := range []struct {
+		name  string
+		cache graphdim.CacheOptions
+	}{
+		{"hit", graphdim.CacheOptions{MaxEntries: 1024}},
+		{"uncached", graphdim.CacheOptions{}},
+	} {
+		store := graphdim.NewStore(graphdim.StoreOptions{})
+		coll, err := store.CreateFromIndex("bench-"+bc.name, idx, graphdim.CollectionOptions{
+			Shards: 2,
+			Cache:  bc.cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.name, func(b *testing.B) {
+			// Warm: the first search populates (or, uncached, just runs).
+			if _, err := coll.Search(ctx, q, graphdim.SearchOptions{K: 10}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coll.Search(ctx, q, graphdim.SearchOptions{K: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		store.Close()
+	}
+}
+
 // BenchmarkStoreShardedSearch measures one mapped query through the Store
 // fan-out at increasing shard counts over the same database — the
 // per-query cost of sharding (per-shard VF2 mapping + heap merge) that

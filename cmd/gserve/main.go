@@ -20,13 +20,15 @@
 //	GET    /v1/collections                   list collections
 //	POST   /v1/collections?name=N&shards=S   create a collection from the
 //	       graphs in the body; optional build knobs: dimensions, tau,
-//	       algorithm (dspm | dspmap), k (default result count)
+//	       algorithm (dspm | dspmap), k (default result count),
+//	       cache_entries and cache_bytes (query-result cache bounds;
+//	       omitted or 0 = no cache)
 //	DELETE /v1/collections/{name}            drop a collection
 //	POST   /v1/collections/{name}/search     query graphs in the body; knobs:
 //	       k, engine (mapped | verified | exact), factor, maxcand
 //	POST   /v1/collections/{name}/add        map graphs into the collection
 //	GET    /v1/collections/{name}/stats      per-shard sizes, stale ratios,
-//	       compaction counters
+//	       compaction counters, shard generations, query-cache counters
 //	POST   /v1/collections/{name}/compact    rebuild stale shards now
 //	       (?force=true rebuilds every shard with any staleness)
 //	GET    /healthz                          liveness probe
@@ -85,6 +87,8 @@ func main() {
 		rbTau     = flag.Float64("rebuild-tau", 0.1, "min-support ratio for compaction rebuilds of the default collection")
 		rbAlgo    = flag.String("rebuild-algo", "dspmap", "dimension algorithm for compaction rebuilds: dspm or dspmap")
 		rbBudget  = flag.Int64("rebuild-mcs-budget", 20000, "MCS budget for compaction rebuilds")
+		cacheEnt  = flag.Int("cache-entries", 4096, "query-result cache entries for the default collection (0 = no cache)")
+		cacheByte = flag.Int64("cache-bytes", 64<<20, "approximate query-result cache size in bytes for the default collection (0 = entries-only bound)")
 	)
 	flag.Parse()
 
@@ -132,6 +136,7 @@ func main() {
 		Shards:   *shards,
 		Build:    rebuild,
 		Defaults: graphdim.SearchOptions{K: *k},
+		Cache:    graphdim.CacheOptions{MaxEntries: *cacheEnt, MaxBytes: *cacheByte},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -397,8 +402,17 @@ func (s *server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		*dst = n
 		return true
 	}
-	if !intParam("shards", &opt.Shards) || !intParam("dimensions", &opt.Build.Dimensions) || !intParam("k", &opt.Defaults.K) {
+	if !intParam("shards", &opt.Shards) || !intParam("dimensions", &opt.Build.Dimensions) ||
+		!intParam("k", &opt.Defaults.K) || !intParam("cache_entries", &opt.Cache.MaxEntries) {
 		return
+	}
+	if v := q.Get("cache_bytes"); v != "" {
+		n, aerr := strconv.ParseInt(v, 10, 64)
+		if aerr != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "cache_bytes must be a non-negative integer, got %q", v)
+			return
+		}
+		opt.Cache.MaxBytes = n
 	}
 	if v := q.Get("tau"); v != "" {
 		opt.Build.Tau, err = strconv.ParseFloat(v, 64)
@@ -674,6 +688,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// cacheStatsJSON mirrors graphdim.CacheStats with stable JSON names.
+type cacheStatsJSON struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
 // shardStatsJSON mirrors graphdim.ShardStats with stable JSON names.
 type shardStatsJSON struct {
 	Live                int     `json:"live"`
@@ -689,11 +713,27 @@ type collectionStatsResponse struct {
 	Live   int              `json:"graphs"`
 	NextID int              `json:"next_id"`
 	Shards []shardStatsJSON `json:"shards"`
+	// Generations is the per-shard mutation counter the query cache
+	// fences on; it moves on every add, remove, and compaction swap.
+	Generations []uint64 `json:"generations"`
+	// Cache reports the query-result cache, omitted when the collection
+	// was created without one.
+	Cache *cacheStatsJSON `json:"cache,omitempty"`
 }
 
 func collectionStatsJSON(c *graphdim.Collection) collectionStatsResponse {
 	st := c.Stats()
-	out := collectionStatsResponse{Name: st.Name, Live: st.Live, NextID: st.NextID}
+	out := collectionStatsResponse{Name: st.Name, Live: st.Live, NextID: st.NextID, Generations: st.Generations}
+	if st.Cache != nil {
+		out.Cache = &cacheStatsJSON{
+			Entries:       st.Cache.Entries,
+			Bytes:         st.Cache.Bytes,
+			Hits:          st.Cache.Hits,
+			Misses:        st.Cache.Misses,
+			Evictions:     st.Cache.Evictions,
+			Invalidations: st.Cache.Invalidations,
+		}
+	}
 	for _, sh := range st.Shards {
 		out.Shards = append(out.Shards, shardStatsJSON{
 			Live:                sh.Live,

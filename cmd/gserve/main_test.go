@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -47,6 +48,9 @@ func newTestServer(t *testing.T, shards int, timeout time.Duration) (*httptest.S
 	coll, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{
 		Shards: shards,
 		Build:  graphdim.Options{Dimensions: 12, Tau: 0.2, MCSBudget: 1500},
+		// Mirror main: the default collection serves through the
+		// query-result cache.
+		Cache: graphdim.CacheOptions{MaxEntries: 256},
 	})
 	if err != nil {
 		t.Fatalf("CreateFromIndex: %v", err)
@@ -570,6 +574,176 @@ func TestV1CompactEndpoint(t *testing.T) {
 	for i, sh := range st.Shards {
 		if sh.Compactions != 1 {
 			t.Fatalf("shard %d compactions = %d, want 1 (%+v)", i, sh.Compactions, st)
+		}
+	}
+}
+
+// TestV1GoldenSession is the scripted end-to-end walk of the /v1 API:
+// create (with a cache) → search twice (miss then hit) → add
+// (generation fence invalidates) → compact (swap invalidates again) →
+// stats, asserting the cache hit/miss/invalidation counters and the
+// generation vector at every step, plus deprecated-alias parity at the
+// end.
+func TestV1GoldenSession(t *testing.T) {
+	ts, defColl := newTestServer(t, 1, 30*time.Second)
+
+	db := dataset.Chemical(dataset.ChemConfig{N: 16, MinVertices: 8, MaxVertices: 12, Seed: 71})
+	post := func(path string, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+	graphsText := func(gs []*graphdim.Graph) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := graphdim.WriteGraphs(&buf, gs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	stats := func() collectionStatsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/collections/golden/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st collectionStatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// 1. Create with a 32-entry cache across 2 shards.
+	resp, data := post("/v1/collections?name=golden&shards=2&dimensions=10&tau=0.25&k=4&cache_entries=32&cache_bytes=1048576", graphsText(db))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, data)
+	}
+	var created collectionStatsResponse
+	if err := json.Unmarshal(data, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Cache == nil || created.Cache.Entries != 0 || created.Cache.Hits != 0 {
+		t.Fatalf("created collection's cache not cold: %+v", created.Cache)
+	}
+	if len(created.Generations) != 2 || created.Generations[0] != 0 || created.Generations[1] != 0 {
+		t.Fatalf("created generations = %v, want [0 0]", created.Generations)
+	}
+
+	// 2. The same search twice: miss, then hit, byte-identical results.
+	q := graphsText(db[:1])
+	resp1, body1 := post("/v1/collections/golden/search?k=5", q)
+	resp2, body2 := post("/v1/collections/golden/search?k=5", q)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("search statuses %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	var s1, s2 searchResponse
+	if err := json.Unmarshal(body1, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &s2); err != nil {
+		t.Fatal(err)
+	}
+	s1.ElapsedMS, s2.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("cache hit changed the payload:\n%s\n%s", body1, body2)
+	}
+	st := stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Entries != 1 {
+		t.Fatalf("after repeat search: %+v", st.Cache)
+	}
+
+	// 3. Add: one shard's generation moves and the cached entry dies; the
+	// new graph is immediately visible through the same (cached) route.
+	extra := dataset.Chemical(dataset.ChemConfig{N: 1, MinVertices: 8, MaxVertices: 12, Seed: 72})
+	resp, data = post("/v1/collections/golden/add", graphsText(extra))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: status %d: %s", resp.StatusCode, data)
+	}
+	var added addResponse
+	if err := json.Unmarshal(data, &added); err != nil {
+		t.Fatal(err)
+	}
+	st = stats()
+	if g := st.Generations[0] + st.Generations[1]; g != 1 {
+		t.Fatalf("generations after add = %v, want exactly one bump", st.Generations)
+	}
+	_, body3 := post("/v1/collections/golden/search?k=50", graphsText(extra))
+	var s3 searchResponse
+	if err := json.Unmarshal(body3, &s3); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range s3.Results[0] {
+		if r.ID == added.IDs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("added id %d missing from post-add search: %s", added.IDs[0], body3)
+	}
+	// The k=5 entry from step 2 is fenced out: re-running it must miss.
+	preInval := st.Cache.Invalidations
+	post("/v1/collections/golden/search?k=5", q)
+	st = stats()
+	if st.Cache.Invalidations != preInval+1 {
+		t.Fatalf("post-add repeat did not invalidate: %+v", st.Cache)
+	}
+
+	// 4. Compact: the swap moves the stale shard's generation again.
+	preGens := st.Generations
+	resp, data = post("/v1/collections/golden/compact?force=true", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d: %s", resp.StatusCode, data)
+	}
+	var compacted struct {
+		Compacted int `json:"compacted"`
+	}
+	if err := json.Unmarshal(data, &compacted); err != nil {
+		t.Fatal(err)
+	}
+	if compacted.Compacted != 1 {
+		t.Fatalf("compacted = %d, want 1 (only one shard is stale)", compacted.Compacted)
+	}
+	st = stats()
+	if reflect.DeepEqual(st.Generations, preGens) {
+		t.Fatalf("compaction did not move a generation: %v", st.Generations)
+	}
+
+	// 5. Deprecated-alias parity: /topk and /search against the default
+	// collection answer exactly like their /v1 successors, and carry the
+	// Deprecation + successor Link headers.
+	defQ := queriesText(t, defColl, 2)
+	for _, alias := range []struct{ old, successor string }{
+		{"/topk?k=5", "/v1/collections/default/search?k=5&engine=mapped"},
+		{"/search?k=5&engine=verified&factor=2", "/v1/collections/default/search?k=5&engine=verified&factor=2"},
+	} {
+		respOld, bodyOld := post(alias.old, defQ)
+		if respOld.Header.Get("Deprecation") != "true" || respOld.Header.Get("Link") == "" {
+			t.Fatalf("%s: missing Deprecation/Link headers", alias.old)
+		}
+		_, bodyNew := post(alias.successor, defQ)
+		var oldResp, newResp struct {
+			K       int              `json:"k"`
+			Results [][]searchResult `json:"results"`
+		}
+		if err := json.Unmarshal(bodyOld, &oldResp); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(bodyNew, &newResp); err != nil {
+			t.Fatal(err)
+		}
+		if oldResp.K != newResp.K || !reflect.DeepEqual(oldResp.Results, newResp.Results) {
+			t.Fatalf("alias %s diverges from %s:\n%s\n%s", alias.old, alias.successor, bodyOld, bodyNew)
 		}
 	}
 }

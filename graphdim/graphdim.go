@@ -42,6 +42,15 @@
 // Collection.Search), Add and Save/OpenStore parallelize per shard, and a
 // background compactor rebuilds any shard whose StaleRatio crosses a
 // policy threshold while readers keep serving.
+//
+// Two accelerators keep the hot path sublinear without changing any
+// ranked result: per-dimension posting lists prune the mapped-space
+// scan to the graphs sharing a dimension with the query (an adaptive
+// cost model falls back to the flat scan for dense queries; see
+// SearchOptions.NoPrune), and collections built with CacheOptions serve
+// repeat queries from an LRU fenced by per-shard generation counters,
+// so any committed mutation or compaction invalidates affected entries
+// for free (see Index.Generation).
 package graphdim
 
 import (
@@ -56,6 +65,7 @@ import (
 	"repro/internal/gspan"
 	"repro/internal/mcs"
 	"repro/internal/pool"
+	"repro/internal/posting"
 	"repro/internal/subiso"
 	"repro/internal/vecspace"
 )
@@ -254,6 +264,13 @@ type snapshot struct {
 	vectors   []*vecspace.BitVector
 	dead      []bool
 	deadCount int
+	// post holds the per-dimension posting lists and ones buckets over
+	// vectors — the candidate-pruning accelerator internal/posting
+	// implements. It always covers exactly the ids of vectors
+	// (tombstoned included; the scan filters those), and like the rest
+	// of the snapshot it is immutable to readers: Add extends it via
+	// posting.Append under the writer lock.
+	post *posting.Index
 	// baseN is how many of the graphs were part of the database the
 	// dimension selection (Build) or persisted file saw; ids >= baseN
 	// entered through Add. baseDead counts the tombstoned ids below
@@ -295,6 +312,10 @@ type Index struct {
 
 	mu   sync.Mutex // serializes Add/Remove snapshot swaps
 	snap atomic.Pointer[snapshot]
+	// gen counts committed mutations: Add and Remove bump it once, after
+	// publishing their snapshot and before returning. Generation-keyed
+	// caches use it as a fence — see Generation.
+	gen atomic.Uint64
 }
 
 func newIndex(features []*Graph, weights []float64, metric Metric, mcsOpt mcs.Options, workers int, snap *snapshot) *Index {
@@ -305,6 +326,9 @@ func newIndex(features []*Graph, weights []float64, metric Metric, mcsOpt mcs.Op
 		metric:   metric,
 		mcsOpt:   mcsOpt,
 		workers:  workers,
+	}
+	if snap.post == nil {
+		snap.post = posting.FromVectors(snap.vectors, len(features))
 	}
 	ix.snap.Store(snap)
 	return ix
@@ -466,6 +490,15 @@ func (ix *Index) Graph(i int) *Graph { return ix.snap.Load().db[i] }
 
 // IsRemoved reports whether id i has been tombstoned by Remove.
 func (ix *Index) IsRemoved(i int) bool { return ix.snap.Load().dead[i] }
+
+// Generation returns a monotonic counter of committed mutations: it
+// starts at 0 and moves (by at least one) after every Add or Remove
+// publishes and before that call returns. Two equal Generation reads
+// with an operation between them therefore guarantee the operation saw
+// every mutation committed before the first read — the fence the
+// query-result cache keys on (see CacheOptions). The counter is not
+// persisted; a loaded index starts at 0 again.
+func (ix *Index) Generation() uint64 { return ix.gen.Load() }
 
 // Result is one top-k answer.
 type Result struct {

@@ -40,6 +40,10 @@ type collectionManifest struct {
 	NextID   int              `json:"next_id"`
 	Build    buildManifest    `json:"build"`
 	Defaults defaultsManifest `json:"defaults"`
+	// Cache persists the collection's query-cache bounds; the cache
+	// contents themselves are runtime state and never persist (a loaded
+	// store starts cold, all shard generations at zero).
+	Cache cacheManifest `json:"cache,omitempty"`
 	// ShardFiles[i] is shard i's index file, relative to the collection
 	// directory. Each Save writes fresh uniquely-named files and only
 	// then swaps the manifest, so the files a live manifest references
@@ -96,6 +100,12 @@ func (m buildManifest) options() Options {
 		Iterations:      m.Iterations,
 		Workers:         m.Workers,
 	}
+}
+
+// cacheManifest mirrors CacheOptions.
+type cacheManifest struct {
+	MaxEntries int   `json:"max_entries,omitempty"`
+	MaxBytes   int64 `json:"max_bytes,omitempty"`
 }
 
 // defaultsManifest mirrors the scalar fields of SearchOptions (Predicate
@@ -187,6 +197,7 @@ func (s *Store) Save(dir string) error {
 			Shards:       len(c.shards),
 			Build:        toBuildManifest(c.build),
 			Defaults:     toDefaultsManifest(c.defaults),
+			Cache:        cacheManifest{MaxEntries: c.cacheOpt.MaxEntries, MaxBytes: c.cacheOpt.MaxBytes},
 			ShardFiles:   make([]string, len(c.shards)),
 			ShardGlobals: make([][]int, len(c.shards)),
 		}
@@ -355,9 +366,10 @@ func (s *Store) loadCollection(dir string, cm collectionManifest) (*Collection, 
 	if err != nil {
 		return nil, err
 	}
+	cacheOpt := CacheOptions{MaxEntries: cm.Cache.MaxEntries, MaxBytes: cm.Cache.MaxBytes}
 	// Same domain checks as create time, so a hand-edited manifest fails
 	// at open rather than as confusing per-query errors later.
-	if err := (CollectionOptions{Shards: cm.Shards, Build: build, Defaults: defaults}).validate(); err != nil {
+	if err := (CollectionOptions{Shards: cm.Shards, Build: build, Defaults: defaults, Cache: cacheOpt}).validate(); err != nil {
 		return nil, err
 	}
 
@@ -367,6 +379,8 @@ func (s *Store) loadCollection(dir string, cm collectionManifest) (*Collection, 
 		build:    build,
 		defaults: defaults,
 		shards:   make([]*shard, cm.Shards),
+		cacheOpt: cacheOpt,
+		cache:    newQueryCache(cacheOpt),
 	}
 	c.nextID.Store(int64(cm.NextID))
 	errs := make([]error, cm.Shards)

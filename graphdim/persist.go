@@ -14,16 +14,17 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcs"
 	"repro/internal/pool"
+	"repro/internal/posting"
 	"repro/internal/vecspace"
 )
 
-// The on-disk index has two formats:
+// The on-disk index has three formats:
 //
 // v1 (legacy, read-only): a JSON document embedding graphs in the text
 // format and vectors as set-bit lists — grep-able, but ~10× the size of
 // v2 and decoded only after buffering the whole file.
 //
-// v2 (written by WriteTo): a streaming binary format. After the 8-byte
+// v2 (legacy, read-only): a streaming binary format. After the 8-byte
 // magic "GDIMIDX2", the payload is
 //
 //	metric      1 byte (0 = delta1, 1 = delta2)
@@ -39,12 +40,28 @@ import (
 //	            r/8 bit r%8
 //	crc32       IEEE checksum of the payload, little-endian
 //
-// Both encode and decode stream graph-by-graph; nothing buffers the whole
-// database. ReadIndex sniffs the magic to pick the decoder, so v1 files
-// keep loading.
+// v3 (written by WriteTo): the v2 payload under the magic "GDIMIDX3"
+// plus, between the vectors and the checksum, an optional posting-list
+// section so query servers can skip the transpose on load:
+//
+//	present     1 byte (0 = absent, 1 = present)
+//	p ×         uvarint count, then count × uvarint gap — dimension r's
+//	            ascending posting list delta-encoded as id − prev with
+//	            prev starting at −1, so every gap is >= 1
+//
+// The decoder cross-checks a present section against the vectors (every
+// listed id must have the bit, and the total posting count must equal
+// the vectors' total set-bit count), which proves the lists are exactly
+// the vector transpose; files without the section — v3 with present=0,
+// every v2 and v1 file — get their postings rebuilt in memory.
+//
+// All binary variants encode and decode stream graph-by-graph; nothing
+// buffers the whole database. ReadIndex sniffs the magic to pick the
+// decoder, so v1 and v2 files keep loading.
 
 const (
 	magicV2 = "GDIMIDX2"
+	magicV3 = "GDIMIDX3"
 	// maxFileElems bounds decoded counts so a corrupt length prefix
 	// cannot force a huge allocation before the checksum is verified.
 	// Shared with the graph codec so the two decoders of the stream
@@ -67,19 +84,35 @@ type indexFile struct {
 
 const indexFileVersion = 1
 
-// WriteTo serializes the index in the v2 binary format: the selected
+// WriteTo serializes the index in the v3 binary format: the selected
 // dimensions and weights, every database graph (including tombstoned ids,
-// so ids stay stable across a save/load), the tombstone bitmap, and the
-// packed binary vectors. The encoding streams through a buffered writer —
-// memory use is independent of database size. It implements io.WriterTo.
+// so ids stay stable across a save/load), the tombstone bitmap, the
+// packed binary vectors, and the per-dimension posting lists. The
+// encoding streams through a buffered writer — memory use is independent
+// of database size. It implements io.WriterTo.
 //
 // WriteTo reads one immutable snapshot, so it may run concurrently with
 // queries and updates; updates racing the call are either fully included
 // or fully excluded.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.writeBinary(w, true)
+}
+
+// writeToV2 emits the previous binary format — no postings section. It
+// is kept (unexported) so tests can produce v2 fixtures and pin the
+// rebuild-on-load path.
+func (ix *Index) writeToV2(w io.Writer) (int64, error) {
+	return ix.writeBinary(w, false)
+}
+
+func (ix *Index) writeBinary(w io.Writer, postings bool) (int64, error) {
 	s := ix.snap.Load()
+	magic := magicV3
+	if !postings {
+		magic = magicV2
+	}
 	cw := &countingWriter{w: w}
-	if _, err := io.WriteString(cw, magicV2); err != nil {
+	if _, err := io.WriteString(cw, magic); err != nil {
 		return cw.n, fmt.Errorf("graphdim: encode index: %w", err)
 	}
 	crc := &crcWriter{w: cw}
@@ -103,6 +136,18 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	for _, v := range s.vectors {
 		enc.bytes(packWords(v.Words(), p))
 	}
+	if postings {
+		enc.byte(1)
+		for r := 0; r < p; r++ {
+			l := s.post.List(r)
+			enc.uvarint(uint64(len(l)))
+			prev := int32(-1)
+			for _, id := range l {
+				enc.uvarint(uint64(id - prev))
+				prev = id
+			}
+		}
+	}
 	if enc.err == nil {
 		enc.err = bw.Flush()
 	}
@@ -117,20 +162,24 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadIndex loads an index previously written with WriteTo — either
-// format: the current v2 binary layout or a legacy v1 JSON file.
+// ReadIndex loads an index previously written with WriteTo — any
+// format: the current v3 binary layout, the legacy v2 binary layout
+// (postings are rebuilt in memory), or a legacy v1 JSON file.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(len(magicV2))
-	if err == nil && bytes.Equal(head, []byte(magicV2)) {
-		return readIndexV2(br)
+	head, err := br.Peek(len(magicV3))
+	if err == nil && bytes.Equal(head, []byte(magicV3)) {
+		return readIndexBinary(br, true)
 	}
-	// Not v2 (or shorter than the magic): try the legacy JSON format.
+	if err == nil && bytes.Equal(head, []byte(magicV2)) {
+		return readIndexBinary(br, false)
+	}
+	// Not a binary format (or shorter than the magic): try legacy JSON.
 	return readIndexV1(br)
 }
 
-func readIndexV2(br *bufio.Reader) (*Index, error) {
-	if _, err := br.Discard(len(magicV2)); err != nil {
+func readIndexBinary(br *bufio.Reader, v3 bool) (*Index, error) {
+	if _, err := br.Discard(len(magicV3)); err != nil {
 		return nil, fmt.Errorf("graphdim: read index: %w", err)
 	}
 	dec := &v2Decoder{r: &crcReader{br: br}}
@@ -186,6 +235,13 @@ func readIndexV2(br *bufio.Reader) (*Index, error) {
 		}
 		vectors = append(vectors, vecspace.BitVectorFromWords(p, words))
 	}
+	var post *posting.Index
+	if v3 {
+		post, err = decodePostings(dec, vectors, p, total)
+		if err != nil {
+			return nil, fmt.Errorf("graphdim: corrupt index: postings: %w", err)
+		}
+	}
 	if dec.err != nil {
 		return nil, fmt.Errorf("graphdim: corrupt index: %w", dec.err)
 	}
@@ -197,15 +253,84 @@ func readIndexV2(br *bufio.Reader) (*Index, error) {
 		return nil, fmt.Errorf("graphdim: corrupt index: checksum mismatch (file %08x, computed %08x)", got, dec.r.sum)
 	}
 
+	// A nil post (v2 file, or v3 with the section absent) is rebuilt from
+	// the vectors inside newIndex.
 	return newIndex(features, weights, Metric(metric), mcs.Options{MaxNodes: int64(budget)},
 		pool.DefaultWorkers(0), &snapshot{
 			db:        db,
 			vectors:   vectors,
 			dead:      dead,
 			deadCount: deadCount,
+			post:      post,
 			baseN:     baseN,
 			baseDead:  baseDead,
 		}), nil
+}
+
+// decodePostings reads the v3 posting-list section and proves it is
+// exactly the transpose of the decoded vectors: every listed id must be
+// in range, strictly ascending (gap >= 1 by construction of the delta
+// code), and carry the dimension's bit; and the section's total posting
+// count must equal the vectors' total set-bit count — together that
+// admits exactly one section per vector set. It returns (nil, nil) when
+// the section is marked absent so the caller rebuilds in memory.
+func decodePostings(dec *v2Decoder, vectors []*vecspace.BitVector, p, total int) (*posting.Index, error) {
+	switch present := dec.byte(); {
+	case dec.err != nil:
+		return nil, dec.err
+	case present == 0:
+		return nil, nil
+	case present != 1:
+		return nil, fmt.Errorf("presence byte %d", present)
+	}
+	ones := make([]int32, total)
+	sumOnes := 0
+	for id, v := range vectors {
+		o := v.Ones()
+		ones[id] = int32(o)
+		sumOnes += o
+	}
+	lists := make([][]int32, p)
+	decoded := 0
+	for r := 0; r < p; r++ {
+		count := dec.count("posting count")
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if count > total {
+			return nil, fmt.Errorf("dimension %d: %d postings for %d graphs", r, count, total)
+		}
+		if decoded += count; decoded > sumOnes {
+			return nil, fmt.Errorf("posting count exceeds the vectors' %d set bits", sumOnes)
+		}
+		list := make([]int32, 0, count)
+		prev := int64(-1)
+		for j := 0; j < count; j++ {
+			gap := dec.uvarint()
+			if dec.err != nil {
+				return nil, dec.err
+			}
+			// Bound the gap before the addition so a hostile uvarint can
+			// neither overflow int64 nor index out of range.
+			if gap == 0 || gap > uint64(total) {
+				return nil, fmt.Errorf("dimension %d: gap %d after id %d (total %d)", r, gap, prev, total)
+			}
+			id := prev + int64(gap)
+			if id >= int64(total) {
+				return nil, fmt.Errorf("dimension %d: id %d after %d (total %d)", r, id, prev, total)
+			}
+			if !vectors[id].Get(r) {
+				return nil, fmt.Errorf("dimension %d lists id %d, whose vector lacks the bit", r, id)
+			}
+			list = append(list, int32(id))
+			prev = id
+		}
+		lists[r] = list
+	}
+	if decoded != sumOnes {
+		return nil, fmt.Errorf("%d postings for %d set bits", decoded, sumOnes)
+	}
+	return posting.FromLists(p, total, lists, ones), nil
 }
 
 func readIndexV1(r io.Reader) (*Index, error) {

@@ -102,6 +102,15 @@ type SearchOptions struct {
 	// and the graph itself; it must be cheap (it runs inside the scan)
 	// and safe for concurrent calls (SearchBatch fans out).
 	Predicate func(id int, g *Graph) bool
+	// NoPrune disables posting-list candidate pruning for this query,
+	// forcing the flat scan of every live vector. Results are identical
+	// either way — pruning is an exact accelerator, and an adaptive cost
+	// model already falls back to the flat scan when the query's matched
+	// dimensions cover too much of the collection — so the knob exists
+	// for measurement (benchmarks pin the pruned/flat ratio with it) and
+	// as an operational escape hatch. Ignored by EngineExact, which
+	// never scans the vector space.
+	NoPrune bool
 	// NoDefaults disables the collection-level defaults overlay in
 	// Collection.Search: zero-valued fields then mean the library
 	// defaults, exactly as in Index.Search. It lets a caller request the
@@ -190,8 +199,12 @@ type SearchResult struct {
 	// Engine is the engine that produced Results.
 	Engine Engine
 	// Candidates is how many graphs the final ranking stage scored: the
-	// admitted scan size for EngineMapped/EngineExact, the number of MCS
-	// verifications for EngineVerified.
+	// ids the mapped scan actually computed a distance for (the admitted
+	// scan size when the flat scan ran; with posting-list pruning, the
+	// matched candidates plus however much of the unmatched stream the
+	// top-K needed — possibly far fewer), the admitted scan size for
+	// EngineExact, and the number of MCS verifications for
+	// EngineVerified.
 	Candidates int
 	// Matched is the query's binary vector over the index dimensions —
 	// which of Index.Dimensions() the query contains. A query matching
@@ -201,6 +214,28 @@ type SearchResult struct {
 	// Elapsed is the wall-clock time Search spent on this query,
 	// including the VF2 mapping step.
 	Elapsed time.Duration
+}
+
+// planCandidates asks the snapshot's posting index for a pruned scan
+// plan covering the top wantK of the mapped ranking, translating it
+// into the iterator topk takes. It returns nil — meaning "flat scan" —
+// when pruning is disabled, or when the cost model concludes the
+// query's matched dimensions cover too much of the collection for
+// pruning to pay (see posting.Plan).
+func (s *snapshot) planCandidates(qv *vecspace.BitVector, wantK int, noPrune bool) *topk.Candidates {
+	if noPrune || s.post == nil {
+		return nil
+	}
+	pl := s.post.Plan(qv, wantK)
+	if pl == nil {
+		return nil
+	}
+	return &topk.Candidates{
+		K:         wantK,
+		QueryOnes: pl.QueryOnes,
+		Matched:   pl.Matched,
+		Rest:      pl.Rest,
+	}
 }
 
 // Search answers a top-k similarity query with per-query options: engine
@@ -239,15 +274,26 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 	)
 	switch opt.Engine {
 	case EngineMapped:
-		ranking, err = topk.MappedContext(ctx, s.vectors, qv, alive)
-		candidates = len(ranking)
+		ranking, candidates, err = topk.MappedContext(ctx, s.vectors, qv, alive,
+			s.planCandidates(qv, opt.K, opt.NoPrune))
 	case EngineVerified:
 		factor := opt.VerifyFactor
 		if factor == 0 {
 			factor = 3
 		}
+		// The retrieval stage needs a factor·K-deep ranking; size the
+		// pruning plan's cost model for that depth (VerifiedContext
+		// re-derives the exact clamped count itself).
+		wantEstimate := opt.K * factor
+		if wantEstimate/factor != opt.K {
+			wantEstimate = ix.TotalGraphs() // overflow: verify everything
+		}
+		if opt.MaxCandidates > 0 && wantEstimate > opt.MaxCandidates {
+			wantEstimate = opt.MaxCandidates
+		}
 		ranking, candidates, err = topk.VerifiedContext(ctx, s.db, s.vectors, q, qv,
-			opt.K, factor, opt.MaxCandidates, metric, ix.mcsOpt, alive)
+			opt.K, factor, opt.MaxCandidates, metric, ix.mcsOpt, alive,
+			s.planCandidates(qv, wantEstimate, opt.NoPrune))
 	case EngineExact:
 		ranking, err = topk.ExactContext(ctx, s.db, q, metric, ix.mcsOpt, alive)
 		candidates = len(ranking)

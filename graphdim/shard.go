@@ -57,12 +57,27 @@ type shard struct {
 	mu    sync.Mutex // serializes writers: add, remove, the compaction swap
 	state atomic.Pointer[shardState]
 
+	// gen is the shard's generation: a monotonic counter bumped after
+	// every committed mutation (add, remove) and every compaction swap —
+	// always after the new state publishes and before the operation
+	// returns. That ordering is the query cache's fence: once a write
+	// returns to its caller, every later generation read observes the
+	// bump, so a cached result keyed on the old generation vector can
+	// never be served after the write is committed. (In the window
+	// between publish and bump a concurrent reader may still hit the old
+	// key — indistinguishable from a search that raced the write, hence
+	// linearizable.)
+	gen atomic.Uint64
+
 	compacting  atomic.Bool  // one compaction at a time per shard
 	compactions atomic.Int64 // completed compactions
 
 	lastErrMu sync.Mutex
 	lastErr   error // most recent compaction failure, cleared on success
 }
+
+// generation reads the shard's mutation counter.
+func (sh *shard) generation() uint64 { return sh.gen.Load() }
 
 func newShard(st *shardState) *shard {
 	sh := &shard{}
@@ -87,6 +102,7 @@ func (sh *shard) add(ctx context.Context, gs []*Graph, globals []int) error {
 		sh.state.Store(cur)
 		return err
 	}
+	sh.gen.Add(1)
 	return nil
 }
 
@@ -103,7 +119,11 @@ func (sh *shard) remove(globals []int) error {
 		}
 		locals[i] = local
 	}
-	return st.idx.Remove(locals...)
+	if err := st.idx.Remove(locals...); err != nil {
+		return err
+	}
+	sh.gen.Add(1)
+	return nil
 }
 
 // graph resolves a global id to its graph, alive or tombstoned.
@@ -208,6 +228,10 @@ func (sh *shard) compact(ctx context.Context, opt Options, idxWorkers int) error
 	}
 
 	sh.state.Store(&shardState{idx: next, globals: newGlobals})
+	// The swap replaces the whole index (often with a re-selected
+	// dimension space), so it must fence cached results like any
+	// mutation.
+	sh.gen.Add(1)
 	sh.compactions.Add(1)
 	return nil
 }

@@ -190,6 +190,12 @@ type CollectionOptions struct {
 	// the library defaults, as in Build. The Progress callback is used
 	// only by the initial build, never by background rebuilds.
 	Build Options
+	// Cache configures the collection's query-result cache: an LRU over
+	// complete Search results keyed by (canonical query, effective
+	// options) and fenced by the shard generation vector, so any
+	// committed Add/Remove/compaction invalidates affected entries for
+	// free. The zero value disables caching. See CacheOptions.
+	Cache CacheOptions
 	// Defaults overlays zero-valued SearchOptions fields of every Search
 	// against the collection: a query leaving K (or VerifyFactor,
 	// MaxCandidates, Metric, Engine, Predicate) at its zero value gets the
@@ -209,6 +215,9 @@ func (o CollectionOptions) validate() error {
 		return fmt.Errorf("graphdim: Shards must be <= %d, got %d", maxShards, o.Shards)
 	}
 	if err := o.Build.Validate(); err != nil {
+		return err
+	}
+	if err := o.Cache.validate(); err != nil {
 		return err
 	}
 	// Defaults are a partial SearchOptions: K may stay zero ("no
@@ -244,6 +253,8 @@ type Collection struct {
 	build    Options
 	defaults SearchOptions
 	shards   []*shard
+	cacheOpt CacheOptions
+	cache    *queryCache // nil when the cache is disabled
 
 	addMu sync.Mutex // serializes writers (Add, Remove) collection-wide
 	// nextID is written under addMu; atomic so read-only paths (Stats)
@@ -333,6 +344,8 @@ func (s *Store) CreateFromIndex(name string, src *Index, opt CollectionOptions) 
 		build:    opt.Build,
 		defaults: opt.Defaults,
 		shards:   make([]*shard, nsh),
+		cacheOpt: opt.Cache,
+		cache:    newQueryCache(opt.Cache),
 	}
 	c.nextID.Store(int64(len(snap.db)))
 	// Divide the source index's worker bound across the shards: the
@@ -489,6 +502,32 @@ func (c *Collection) Search(ctx context.Context, q *Graph, opt SearchOptions) (*
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	if c.cache != nil {
+		if key, ok := cacheKey(q, opt); ok {
+			// Read the generation vector before the search: a mutation
+			// committing in between leaves the stored entry already
+			// stale (see queryCache.cachedSearch).
+			gens := c.generations()
+			return c.cache.cachedSearch(key, gens, start, func() (*SearchResult, error) {
+				return c.searchShards(ctx, q, opt, start)
+			})
+		}
+	}
+	return c.searchShards(ctx, q, opt, start)
+}
+
+// generations snapshots every shard's mutation counter — the fence
+// vector cached results are keyed by.
+func (c *Collection) generations() []uint64 {
+	gens := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		gens[i] = sh.generation()
+	}
+	return gens
+}
+
+// searchShards is the uncached fan-out behind Search.
+func (c *Collection) searchShards(ctx context.Context, q *Graph, opt SearchOptions, start time.Time) (*SearchResult, error) {
 	userPred := opt.Predicate
 
 	outs := make([]shardOut, len(c.shards))
@@ -773,6 +812,15 @@ func (c *Collection) Compact(ctx context.Context, force bool) (int, error) {
 	return compacted, firstErr
 }
 
+// CacheStats returns the query cache's counters; ok is false when the
+// collection was created without a cache.
+func (c *Collection) CacheStats() (stats CacheStats, ok bool) {
+	if c.cache == nil {
+		return CacheStats{}, false
+	}
+	return c.cache.stats(), true
+}
+
 // ShardStats describes one shard for stats endpoints.
 type ShardStats struct {
 	// Live is the number of searchable graphs; Total counts id slots
@@ -796,6 +844,12 @@ type CollectionStats struct {
 	Live   int
 	NextID int
 	Shards []ShardStats
+	// Generations is the per-shard mutation-counter vector the query
+	// cache fences on, aligned with Shards.
+	Generations []uint64
+	// Cache holds the query cache's counters, nil when the collection
+	// has no cache.
+	Cache *CacheStats
 }
 
 // Stats returns a point-in-time snapshot of the collection's shards.
@@ -817,5 +871,9 @@ func (c *Collection) Stats() CollectionStats {
 		cs.Shards[i] = s
 	}
 	cs.NextID = int(c.nextID.Load())
+	cs.Generations = c.generations()
+	if st, ok := c.CacheStats(); ok {
+		cs.Cache = &st
+	}
 	return cs
 }

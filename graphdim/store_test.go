@@ -90,7 +90,17 @@ func TestStoreShardedEquivalence(t *testing.T) {
 				}
 				label := coll.Name() + "/" + got.Engine.String()
 				sameResults(t, label, got.Results, want.Results)
-				if got.Candidates != want.Candidates {
+				// Candidates counts the ids the engine actually scored.
+				// For the mapped engine that depends on per-shard pruning
+				// decisions (each shard's posting plan sees a different
+				// slice), so only a sanity bound is portable; the MCS
+				// engines score a pruning-independent candidate set and
+				// stay exactly comparable.
+				if got.Engine == EngineMapped {
+					if got.Candidates < len(got.Results) {
+						t.Errorf("%s query %d: candidates = %d < %d results", label, qi, got.Candidates, len(got.Results))
+					}
+				} else if got.Candidates != want.Candidates {
 					t.Errorf("%s query %d: candidates = %d, want %d", label, qi, got.Candidates, want.Candidates)
 				}
 				if got.Matched.Count() != want.Matched.Count() {

@@ -62,14 +62,20 @@ func (ix *Index) AddContext(ctx context.Context, gs ...*Graph) ([]int, error) {
 		vectors:   append(append(make([]*vecspace.BitVector, 0, len(cur.vectors)+len(gs)), cur.vectors...), newVecs...),
 		dead:      append(append(make([]bool, 0, len(cur.dead)+len(gs)), cur.dead...), make([]bool, len(gs))...),
 		deadCount: cur.deadCount,
-		baseN:     cur.baseN,
-		baseDead:  cur.baseDead,
+		// Posting maintenance is incremental: the new ids are the highest
+		// yet, so appending keeps every per-dimension list sorted. The
+		// linear snapshot chain Append requires is exactly what ix.mu
+		// enforces.
+		post:     cur.post.Append(newVecs),
+		baseN:    cur.baseN,
+		baseDead: cur.baseDead,
 	}
 	ids := make([]int, len(gs))
 	for i := range gs {
 		ids[i] = len(cur.db) + i
 	}
 	ix.snap.Store(next)
+	ix.gen.Add(1)
 	return ids, nil
 }
 
@@ -97,13 +103,16 @@ func (ix *Index) Remove(ids ...int) error {
 		}
 		seen[id] = true
 	}
-	// db and vectors are immutable and shared with the previous snapshot;
-	// only the tombstone set is copied.
+	// db, vectors, and the posting lists are immutable and shared with
+	// the previous snapshot; only the tombstone set is copied. Removal is
+	// not a posting event — tombstoned ids stay listed and every scan
+	// (pruned or flat) filters them through the same alive predicate.
 	next := &snapshot{
 		db:        cur.db,
 		vectors:   cur.vectors,
 		dead:      append([]bool(nil), cur.dead...),
 		deadCount: cur.deadCount + len(ids),
+		post:      cur.post,
 		baseN:     cur.baseN,
 		baseDead:  cur.baseDead,
 	}
@@ -114,6 +123,7 @@ func (ix *Index) Remove(ids ...int) error {
 		}
 	}
 	ix.snap.Store(next)
+	ix.gen.Add(1)
 	return nil
 }
 

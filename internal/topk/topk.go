@@ -8,6 +8,7 @@ package topk
 
 import (
 	"context"
+	"math"
 	"sort"
 
 	"repro/internal/graph"
@@ -93,25 +94,56 @@ func ExactContext(ctx context.Context, db []*graph.Graph, q *graph.Graph, metric
 	return items, nil
 }
 
+// Candidates is a pruned scan plan for one mapped-space query, computed
+// by internal/posting from per-dimension posting lists: the ids whose
+// vectors share at least one set dimension with the query (scored
+// exactly, from their vectors) plus a lazy stream over the remaining
+// ids in ascending score order (an unmatched id's distance depends only
+// on its ones count). A nil *Candidates selects the flat scan.
+type Candidates struct {
+	// K bounds the ranking: the merged result holds the exact top K of
+	// what the flat scan would rank, in the flat scan's order. K <= 0
+	// degrades to the flat scan.
+	K int
+	// QueryOnes is the query vector's set-bit count |F(q)|.
+	QueryOnes int
+	// Matched holds, ascending, every id sharing >= 1 dimension with the
+	// query. Tombstoned ids may appear; the scan filters them via alive.
+	Matched []int32
+	// Rest yields every id not in Matched in ascending (ones, id) order
+	// with its ones count, stopping when yield returns false.
+	Rest func(yield func(id, ones int32) bool)
+}
+
 // Mapped ranks the database by normalized Euclidean distance between
 // binary feature vectors — the paper's online query path: map the query
 // with VF2 feature matching, then scan the vector database.
 func Mapped(dbVectors []*vecspace.BitVector, qv *vecspace.BitVector) Ranking {
-	r, _ := MappedContext(context.Background(), dbVectors, qv, nil)
+	r, _, _ := MappedContext(context.Background(), dbVectors, qv, nil, nil)
 	return r
 }
 
-// MappedContext is Mapped restricted to the ids admitted by alive. The
-// scan is pure bit arithmetic, so cancellation is only checked every
-// mappedCtxStride vectors — prompt enough for multi-million-graph scans
-// without a per-vector atomic load.
+// MappedContext is Mapped restricted to the ids admitted by alive, with
+// optional posting-list pruning. With cands == nil it scans every
+// vector and returns the full admitted ranking; with a plan it scores
+// only the matched candidates plus however much of the score-ordered
+// unmatched stream the top cands.K needs — sublinear when the plan is
+// selective — and returns exactly the first cands.K entries the flat
+// ranking would have, identical scores and tie order included. The
+// second return value is the number of ids scored. The scan is pure bit
+// arithmetic, so cancellation is only checked every mappedCtxStride
+// ids — prompt enough for multi-million-graph scans without a
+// per-vector atomic load.
 func MappedContext(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vecspace.BitVector,
-	alive Alive) (Ranking, error) {
+	alive Alive, cands *Candidates) (Ranking, int, error) {
+	if cands != nil && cands.K > 0 {
+		return mappedPruned(ctx, dbVectors, qv, alive, cands)
+	}
 	items := make([]Item, 0, len(dbVectors))
 	for i, v := range dbVectors {
 		if i%mappedCtxStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		if !admits(alive, i) {
@@ -120,7 +152,73 @@ func MappedContext(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vec
 		items = append(items, Item{ID: i, Score: qv.Distance(v)})
 	}
 	sortItems(items)
-	return items, nil
+	return items, len(items), nil
+}
+
+// mappedPruned evaluates the pruned plan. Equivalence to the flat scan
+// rests on two facts: (1) a matched id's distance is computed from its
+// vector by the very same expression the flat scan uses; (2) an
+// unmatched id shares no dimension with the query, so its Hamming
+// distance is exactly QueryOnes + ones(id) and distinct ones counts
+// give distinct float64 scores (the gap 1/p dwarfs every rounding
+// error for any p the codec admits), making the (ones, id) stream
+// order equal to the flat scan's (score, id) tie order.
+func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vecspace.BitVector,
+	alive Alive, cands *Candidates) (Ranking, int, error) {
+	p := qv.Len()
+	matched := make([]Item, 0, len(cands.Matched))
+	for j, id := range cands.Matched {
+		if j%mappedCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
+		if !admits(alive, int(id)) {
+			continue
+		}
+		matched = append(matched, Item{ID: int(id), Score: qv.Distance(dbVectors[id])})
+	}
+	sortItems(matched)
+
+	// Merge the sorted matched items with the score-ordered unmatched
+	// stream, stopping at K results.
+	scored := len(matched)
+	out := make(Ranking, 0, min(cands.K, len(dbVectors)))
+	mi := 0
+	steps := 0
+	var rerr error
+	cands.Rest(func(id, ones int32) bool {
+		steps++
+		if steps%mappedCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				rerr = err
+				return false
+			}
+		}
+		if !admits(alive, int(id)) {
+			return true
+		}
+		score := math.Sqrt(float64(int(ones)+cands.QueryOnes) / float64(p))
+		for mi < len(matched) && (matched[mi].Score < score ||
+			(matched[mi].Score == score && matched[mi].ID < int(id))) {
+			out = append(out, matched[mi])
+			mi++
+			if len(out) >= cands.K {
+				return false
+			}
+		}
+		out = append(out, Item{ID: int(id), Score: score})
+		scored++
+		return len(out) < cands.K
+	})
+	if rerr != nil {
+		return nil, 0, rerr
+	}
+	for mi < len(matched) && len(out) < cands.K {
+		out = append(out, matched[mi])
+		mi++
+	}
+	return out, scored, nil
 }
 
 const mappedCtxStride = 4096

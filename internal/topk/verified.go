@@ -17,21 +17,24 @@ import (
 // EXPERIMENTS.md.
 func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph, qv *vecspace.BitVector,
 	k, factor int, metric mcs.Metric, opt mcs.Options) Ranking {
-	r, _, _ := VerifiedContext(context.Background(), db, dbVectors, q, qv, k, factor, 0, metric, opt, nil)
+	r, _, _ := VerifiedContext(context.Background(), db, dbVectors, q, qv, k, factor, 0, metric, opt, nil, nil)
 	return r
 }
 
 // VerifiedContext is Verified with cancellation, an optional liveness
-// filter, and an optional cap on the number of candidates verified
-// (maxCandidates <= 0 means uncapped). The candidate count factor·k is
-// computed in 64-bit arithmetic and clamped to the admitted database
-// size, so a factor "overflowing" the database — or int range — degrades
-// to verifying every admitted graph rather than panicking. ctx is checked
-// before each MCS verification. The second return value is the number of
-// candidates verified with an MCS search.
+// filter, an optional cap on the number of candidates verified
+// (maxCandidates <= 0 means uncapped), and optional posting-list
+// pruning of the retrieval stage (pruned == nil means the flat scan;
+// pruned.K is overwritten with the candidate count this call needs, so
+// callers leave it zero). The candidate count factor·k is computed in
+// 64-bit arithmetic and clamped to the admitted database size, so a
+// factor "overflowing" the database — or int range — degrades to
+// verifying every admitted graph rather than panicking. ctx is checked
+// before each MCS verification. The second return value is the number
+// of candidates verified with an MCS search.
 func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspace.BitVector,
 	q *graph.Graph, qv *vecspace.BitVector, k, factor, maxCandidates int,
-	metric mcs.Metric, opt mcs.Options, alive Alive) (Ranking, int, error) {
+	metric mcs.Metric, opt mcs.Options, alive Alive, pruned *Candidates) (Ranking, int, error) {
 	if k <= 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
@@ -41,17 +44,26 @@ func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspa
 	if factor < 1 {
 		factor = 1
 	}
-	retrieved, err := MappedContext(ctx, dbVectors, qv, alive)
-	if err != nil {
-		return nil, 0, err
-	}
 	want := int64(k) * int64(factor)
 	if want/int64(k) != int64(factor) {
 		// int64 overflow: both operands are huge; every candidate wins.
-		want = int64(len(retrieved))
+		want = int64(len(dbVectors))
 	}
 	if maxCandidates > 0 && want > int64(maxCandidates) {
 		want = int64(maxCandidates)
+	}
+	if want > int64(len(dbVectors)) {
+		want = int64(len(dbVectors))
+	}
+	if pruned != nil {
+		// The retrieval stage needs exactly the top `want` mapped-space
+		// candidates; the pruned scan returns precisely that prefix (or
+		// every admitted id, if fewer), identical to the flat ranking.
+		pruned.K = int(want)
+	}
+	retrieved, _, err := MappedContext(ctx, dbVectors, qv, alive, pruned)
+	if err != nil {
+		return nil, 0, err
 	}
 	if want > int64(len(retrieved)) {
 		want = int64(len(retrieved))

@@ -77,6 +77,20 @@ func (v *BitVector) IntersectionSize(o *BitVector) int {
 	return c
 }
 
+// ForEach calls fn for every set bit of v in ascending order — the
+// iteration primitive posting-list construction transposes vectors with.
+func (v *BitVector) ForEach(fn func(r int)) {
+	for wi, w := range v.bits {
+		for w != 0 {
+			// Isolate and clear the lowest set bit; trailing-zero count
+			// via the popcount of the run of ones below it.
+			low := w & -w
+			fn(wi*64 + popcount(low-1))
+			w &^= low
+		}
+	}
+}
+
 // Distance returns the normalized Euclidean distance of Section 4:
 // d(yi,yj) = sqrt( (1/p) Σ (yir-yjr)^2 ) ∈ [0,1]. For binary vectors the
 // sum of squared differences is the Hamming distance.
