@@ -8,9 +8,10 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 # COVER_MIN gates `make cover`: the combined statement coverage of the
-# public API package and the posting accelerator under it.
+# public API package, the posting accelerator, and the write-ahead log
+# under it.
 COVER_MIN ?= 80
 
 .PHONY: build test race vet bench cover
@@ -25,18 +26,19 @@ test:
 
 # cover enforces the coverage floor on the packages this repository's
 # correctness story leans on hardest: the graphdim API (engines, cache,
-# store, persistence) and the posting-list accelerator.
+# store, persistence, durability) plus the posting-list accelerator and
+# the write-ahead log.
 cover:
-	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting
+	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/wal
 	@$(GO) tool cover -func=cover.out | awk '$$1 == "total:" { \
 		sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_MIN)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_MIN); exit 1 } \
 		else printf "coverage %.1f%% (floor $(COVER_MIN)%%)\n", $$3 }'
 
 # The concurrency-heavy packages: shard fan-out, compaction swaps, the
-# worker budget, and the HTTP layer on top of them.
+# worker budget, the write-ahead log, and the HTTP layer on top of them.
 race:
-	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pool/...
+	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pool/... ./internal/wal/...
 
 vet:
 	$(GO) vet ./...

@@ -64,7 +64,14 @@ func main() {
 	var search func(ctx context.Context, q *graphdim.Graph, opt graphdim.SearchOptions) (*graphdim.SearchResult, error)
 	switch {
 	case *storeDir != "":
-		store, err := graphdim.OpenStore(*storeDir, graphdim.StoreOptions{})
+		// A query CLI must never become a second owner of the store's
+		// write-ahead log — the directory may belong to a live gserve.
+		// Disabled opens read the snapshot without touching the log, and
+		// refuse (with an explanation) if un-replayed records exist; let
+		// the serving process recover those. Racing a live checkpoint can
+		// fail transiently (superseded shard files swept mid-open) —
+		// loud, clean, and fixed by retrying.
+		store, err := graphdim.OpenStore(*storeDir, graphdim.StoreOptions{WAL: graphdim.WALOptions{Disabled: true}})
 		if err != nil {
 			log.Fatal(err)
 		}

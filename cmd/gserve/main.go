@@ -1,17 +1,27 @@
 // Command gserve serves top-k graph similarity queries over HTTP — the
 // online half of the paper's offline/online split, grown into a multi-
 // collection store: dspm builds an index once (expensive: mining, MCS
-// matrix, DSPM), gserve loads it into a graphdim.Store as the default
-// collection, optionally split across -shards parallel shards, and serves
-// a versioned REST API on top. Collections grow online (/add maps new
-// graphs into the fixed dimension space without re-mining), and a
-// background compactor rebuilds any shard whose stale ratio crosses
-// -compact-threshold while readers keep serving.
+// matrix, DSPM), gserve serves it from a graphdim.Store, optionally split
+// across -shards parallel shards, behind a versioned REST API.
+// Collections grow online (/add maps new graphs into the fixed dimension
+// space without re-mining), and a background compactor rebuilds any shard
+// whose stale ratio crosses -compact-threshold while readers keep
+// serving.
+//
+// The production deployment runs against a -data directory: the store is
+// opened (or initialized) there, every accepted add and remove is
+// write-ahead logged and fsynced before it is acknowledged, checkpoints
+// run every -checkpoint-every (plus on graceful shutdown and on demand
+// via the checkpoint action), and a restart — clean or kill -9 —
+// recovers exactly the acknowledged writes by replaying the log tail
+// over the last checkpoint. -index seeds the default collection into a
+// fresh -data store (or serves alone, volatile, without -data).
 //
 // Usage:
 //
 //	dspm -gen 200 -out index.gdx
-//	gserve -index index.gdx -addr :8080 -shards 4 -compact-every 1m
+//	gserve -data /var/lib/gserve -index index.gdx -addr :8080 \
+//	  -shards 4 -compact-every 1m -checkpoint-every 5m
 //
 // The /v1 API (all request and error bodies are JSON except graph
 // payloads, which use the standard text format "t # id" / "v id label" /
@@ -26,11 +36,15 @@
 //	DELETE /v1/collections/{name}            drop a collection
 //	POST   /v1/collections/{name}/search     query graphs in the body; knobs:
 //	       k, engine (mapped | verified | exact), factor, maxcand
-//	POST   /v1/collections/{name}/add        map graphs into the collection
+//	POST   /v1/collections/{name}/add        map graphs into the collection;
+//	       a partially applied batch answers 207 with the committed ids
 //	GET    /v1/collections/{name}/stats      per-shard sizes, stale ratios,
-//	       compaction counters, shard generations, query-cache counters
+//	       compaction counters, shard generations, query-cache and WAL
+//	       counters
 //	POST   /v1/collections/{name}/compact    rebuild stale shards now
 //	       (?force=true rebuilds every shard with any staleness)
+//	POST   /v1/collections/{name}/checkpoint persist the store and truncate
+//	       replayed WAL segments (-data stores only)
 //	GET    /healthz                          liveness probe
 //	GET    /stats                            process-wide counters
 //
@@ -40,11 +54,12 @@
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, waits up to -grace for in-flight requests, stops the
-// background compactor, then exits. -timeout bounds each request twice
-// over: the connection's read/write deadlines cover the body transfer, and
-// the request context cancels the underlying Search — exact and verified
-// engines return promptly. Collection creation (an offline build) is
-// exempt from -timeout and bounded only by the client's patience.
+// background compactor, checkpoints a -data store, then exits. -timeout
+// bounds each request twice over: the connection's read/write deadlines
+// cover the body transfer, and the request context cancels the underlying
+// Search — exact and verified engines return promptly. Collection
+// creation (an offline build), compaction, and checkpoints are exempt
+// from -timeout and bounded only by the client's patience.
 //
 // Example:
 //
@@ -55,6 +70,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -74,7 +90,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gserve: ")
 	var (
-		index     = flag.String("index", "index.gdx", "index file built by dspm (v2 binary or legacy v1 JSON)")
+		index     = flag.String("index", "", "seed index file built by dspm (v3/v2 binary or legacy v1 JSON); required without -data, with -data it seeds the default collection if missing")
+		data      = flag.String("data", "", "durable store directory (opened or created): every add/remove is write-ahead logged and survives a crash; without it online writes are volatile")
+		ckpEvery  = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval for -data stores (0 = only manual /checkpoint actions and the shutdown checkpoint)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		k         = flag.Int("k", 10, "default number of results per query")
 		shards    = flag.Int("shards", 1, "shards for the default collection")
@@ -92,17 +110,14 @@ func main() {
 	)
 	flag.Parse()
 
-	f, err := os.Open(*index)
-	if err != nil {
-		log.Fatal(err)
+	if *data == "" && *index == "" {
+		log.Fatal("need -data (durable store directory) and/or -index (seed index file)")
 	}
-	idx, err := graphdim.ReadIndex(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	if *rbAlgo != "dspm" && *rbAlgo != "dspmap" {
+		log.Fatalf("rebuild-algo must be dspm or dspmap, got %q", *rbAlgo)
 	}
 
-	store := graphdim.NewStore(graphdim.StoreOptions{
+	storeOpts := graphdim.StoreOptions{
 		Workers: *workers,
 		Compaction: graphdim.CompactionPolicy{
 			StaleThreshold: *threshold,
@@ -115,34 +130,64 @@ func main() {
 			}
 			log.Printf("compacted %s/shard-%d", coll, shard)
 		},
-	})
+	}
+	var store *graphdim.Store
+	var err error
+	if *data != "" {
+		// The production path: open (or initialize) the durable store.
+		// OpenStore replays each collection's WAL tail, so writes the
+		// previous process acknowledged are back — checkpointed or not.
+		store, err = graphdim.OpenOrCreateStore(*data, storeOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("opened store %s: %d collections %v", *data, len(store.Collections()), store.Collections())
+	} else {
+		store = graphdim.NewStore(storeOpts)
+		log.Printf("no -data directory: online writes are volatile and lost on restart")
+	}
 	defer store.Close()
-	// Compaction rebuilds can't recover the flags dspm was built with (the
-	// .gdx file doesn't carry them), so they are sized from the loaded
-	// index and the -rebuild-* flags: same dimension count, DSPMap by
-	// default (its cost grows linearly with the shard, where DSPM's
-	// pairwise matrix would dwarf the original per-shard build).
-	rebuild := graphdim.Options{
-		Dimensions: len(idx.Dimensions()),
-		Tau:        *rbTau,
-		MCSBudget:  *rbBudget,
+
+	if *index != "" {
+		if _, ok := store.Collection(*collName); ok {
+			log.Printf("collection %q already in the store; ignoring -index %s", *collName, *index)
+		} else {
+			f, err := os.Open(*index)
+			if err != nil {
+				log.Fatal(err)
+			}
+			idx, err := graphdim.ReadIndex(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Compaction rebuilds can't recover the flags dspm was built
+			// with (the .gdx file doesn't carry them), so they are sized
+			// from the loaded index and the -rebuild-* flags: same
+			// dimension count, DSPMap by default (its cost grows linearly
+			// with the shard, where DSPM's pairwise matrix would dwarf the
+			// original per-shard build).
+			rebuild := graphdim.Options{
+				Dimensions: len(idx.Dimensions()),
+				Tau:        *rbTau,
+				MCSBudget:  *rbBudget,
+			}
+			if *rbAlgo == "dspmap" {
+				rebuild.Algorithm = graphdim.DSPMap
+			}
+			coll, err := store.CreateFromIndex(*collName, idx, graphdim.CollectionOptions{
+				Shards:   *shards,
+				Build:    rebuild,
+				Defaults: graphdim.SearchOptions{K: *k},
+				Cache:    graphdim.CacheOptions{MaxEntries: *cacheEnt, MaxBytes: *cacheByte},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("seeded %s into collection %q: %d graphs, %d dimensions, %d shards",
+				*index, *collName, coll.Size(), len(idx.Dimensions()), coll.Shards())
+		}
 	}
-	if *rbAlgo == "dspmap" {
-		rebuild.Algorithm = graphdim.DSPMap
-	} else if *rbAlgo != "dspm" {
-		log.Fatalf("rebuild-algo must be dspm or dspmap, got %q", *rbAlgo)
-	}
-	coll, err := store.CreateFromIndex(*collName, idx, graphdim.CollectionOptions{
-		Shards:   *shards,
-		Build:    rebuild,
-		Defaults: graphdim.SearchOptions{K: *k},
-		Cache:    graphdim.CacheOptions{MaxEntries: *cacheEnt, MaxBytes: *cacheByte},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("loaded %s into collection %q: %d graphs, %d dimensions, %d shards",
-		*index, *collName, coll.Size(), len(idx.Dimensions()), coll.Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -152,8 +197,9 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s", ln.Addr())
+	s := newServer(store, *collName, *k, *timeout)
 	srv := &http.Server{
-		Handler:           newServer(store, *collName, *k, *timeout),
+		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if *timeout > 0 {
@@ -163,10 +209,76 @@ func main() {
 		srv.ReadTimeout = *timeout
 		srv.WriteTimeout = 2 * *timeout
 	}
+	if store.Dir() != "" && *ckpEvery > 0 {
+		go s.checkpointLoop(ctx, *ckpEvery)
+	}
 	if err := serve(ctx, srv, ln, *grace); err != nil {
 		log.Fatal(err)
 	}
+	// Graceful shutdown checkpoints so the next start replays nothing;
+	// skipping it (a kill) costs replay time, never data. A clean store
+	// skips it too — rewriting every shard to persist nothing new would
+	// make restart latency proportional to store size.
+	if store.Dir() != "" && s.walDirty() {
+		if err := s.runCheckpoint(); err != nil {
+			log.Printf("shutdown checkpoint failed (the WAL still holds every write): %v", err)
+		} else {
+			log.Printf("checkpointed %s", store.Dir())
+		}
+	}
 	log.Printf("shut down cleanly")
+}
+
+// checkpointLoop checkpoints the store every interval until ctx ends,
+// skipping ticks with nothing to persist — a checkpoint rewrites every
+// shard file, which a read-mostly store should not pay for twelve times
+// an hour.
+func (s *server) checkpointLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !s.walDirty() {
+				continue
+			}
+			if err := s.runCheckpoint(); err != nil {
+				log.Printf("periodic checkpoint failed: %v", err)
+			}
+		}
+	}
+}
+
+// walDirty reports whether any collection has log records the last
+// checkpoint does not cover. Collections without a log (WAL disabled)
+// count as dirty — there is no cheap way to tell. Unpersisted compaction
+// rebuilds are deliberately not counted: skipping them costs a redundant
+// re-replay after a crash, never data.
+func (s *server) walDirty() bool {
+	for _, name := range s.store.Collections() {
+		c, ok := s.store.Collection(name)
+		if !ok {
+			continue
+		}
+		st := c.Stats()
+		if st.WAL == nil || st.WAL.LastSeq != st.WAL.CheckpointSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// runCheckpoint checkpoints the store and keeps the /stats counters.
+func (s *server) runCheckpoint() error {
+	if err := s.store.Checkpoint(); err != nil {
+		s.checkpointErrors.Add(1)
+		return err
+	}
+	s.checkpoints.Add(1)
+	s.lastCheckpointMS.Store(time.Now().UnixMilli())
+	return nil
 }
 
 // serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
@@ -198,15 +310,22 @@ type server struct {
 	defaultK    int
 	timeout     time.Duration
 	started     time.Time
+	mux         *http.ServeMux
 
 	requests  atomic.Int64 // search/topk requests answered successfully
 	queries   atomic.Int64 // individual query graphs answered
 	added     atomic.Int64 // graphs added via the add endpoints
 	errors    atomic.Int64 // requests rejected (sum with requests for the total)
 	latencyUS atomic.Int64 // cumulative successful-search latency, microseconds
+
+	checkpoints      atomic.Int64 // completed checkpoints (periodic, manual, shutdown)
+	checkpointErrors atomic.Int64
+	lastCheckpointMS atomic.Int64 // unix milliseconds of the last success, 0 = never
 }
 
-func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout time.Duration) http.Handler {
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout time.Duration) *server {
 	s := &server{store: store, defaultColl: defaultColl, defaultK: defaultK, timeout: timeout, started: time.Now()}
 	mux := http.NewServeMux()
 	// Method checks live inside the handlers so that 405s (and the
@@ -223,7 +342,8 @@ func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
 	})
-	return mux
+	s.mux = mux
+	return s
 }
 
 // deprecated marks the unversioned routes: they keep serving the default
@@ -439,7 +559,7 @@ func (s *server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 	}
 	c, err := s.store.Create(r.Context(), name, db, opt)
 	if err != nil {
-		s.failQuery(w, r.Context(), err)
+		s.failQuery(w, r, r.Context(), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, collectionStatsJSON(c))
@@ -481,8 +601,10 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 		writeJSON(w, http.StatusOK, collectionStatsJSON(c))
 	case "compact":
 		s.handleCompact(w, r, c)
+	case "checkpoint":
+		s.handleCheckpoint(w, r, c)
 	default:
-		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, stats or compact)", action)
+		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, stats, compact or checkpoint)", action)
 	}
 }
 
@@ -507,7 +629,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request, c *graphdi
 	defer cancel()
 	batch, err := c.SearchBatch(ctx, queries, opt)
 	if err != nil {
-		s.failQuery(w, ctx, err)
+		s.failQuery(w, r, ctx, err)
 		return
 	}
 	resp := searchResponse{
@@ -558,7 +680,16 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request, c *graphdim.C
 	defer cancel()
 	ids, err := c.Add(ctx, gs...)
 	if err != nil {
-		s.failQuery(w, ctx, err)
+		var pe *graphdim.PartialAddError
+		if errors.As(err, &pe) {
+			// Part of the batch committed (and, on a durable store, is
+			// logged): a flat 400 would hide that from the caller. Answer
+			// 207 with exactly the ids that landed.
+			s.added.Add(int64(len(pe.Applied)))
+			s.writePartialAdd(w, c.Name(), pe)
+			return
+		}
+		s.failQuery(w, r, ctx, err)
 		return
 	}
 	s.added.Add(int64(len(ids)))
@@ -568,6 +699,60 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request, c *graphdim.C
 		if r > resp.StaleRatio {
 			resp.StaleRatio = r
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// partialAddResponse is the 207 body for a batch that landed partially:
+// the applied ids are committed and searchable, the rest are not.
+type partialAddResponse struct {
+	Error      string `json:"error"`
+	Collection string `json:"collection"`
+	AppliedIDs []int  `json:"applied_ids"`
+	Applied    int    `json:"applied"`
+	Total      int    `json:"total"`
+}
+
+func (s *server) writePartialAdd(w http.ResponseWriter, collection string, pe *graphdim.PartialAddError) {
+	s.errors.Add(1)
+	applied := pe.Applied
+	if applied == nil {
+		applied = []int{}
+	}
+	writeJSON(w, http.StatusMultiStatus, partialAddResponse{
+		Error:      pe.Error(),
+		Collection: collection,
+		AppliedIDs: applied,
+		Applied:    len(applied),
+		Total:      pe.Total,
+	})
+}
+
+// handleCheckpoint persists the store to its -data directory and
+// truncates the replayed WAL segments — the manual flush operators call
+// before planned maintenance.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST triggers a checkpoint")
+		return
+	}
+	if s.store.Dir() == "" {
+		s.fail(w, http.StatusConflict, "store has no data directory (start gserve with -data)")
+		return
+	}
+	// A checkpoint streams every shard to disk; like creation and
+	// compaction it ignores -timeout.
+	clearConnDeadlines(w)
+	if err := s.runCheckpoint(); err != nil {
+		s.fail(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	resp := map[string]any{
+		"collection":  c.Name(),
+		"checkpoints": s.checkpoints.Load(),
+	}
+	if st := c.Stats(); st.WAL != nil {
+		resp["wal"] = walStatsJSONOf(st.WAL)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -647,7 +832,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	batch, err := c.SearchBatch(ctx, queries, graphdim.SearchOptions{K: k, Engine: graphdim.EngineMapped})
 	if err != nil {
-		s.failQuery(w, ctx, err)
+		s.failQuery(w, r, ctx, err)
 		return
 	}
 	resp := topkResponse{
@@ -698,6 +883,27 @@ type cacheStatsJSON struct {
 	Invalidations int64 `json:"invalidations"`
 }
 
+// walStatsJSON mirrors graphdim.WALStats with stable JSON names.
+type walStatsJSON struct {
+	Appends       int64  `json:"appends"`
+	Syncs         int64  `json:"syncs"`
+	LastSeq       uint64 `json:"last_seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	Segments      int    `json:"segments"`
+	Bytes         int64  `json:"bytes"`
+}
+
+func walStatsJSONOf(st *graphdim.WALStats) *walStatsJSON {
+	return &walStatsJSON{
+		Appends:       st.Appends,
+		Syncs:         st.Syncs,
+		LastSeq:       st.LastSeq,
+		CheckpointSeq: st.CheckpointSeq,
+		Segments:      st.Segments,
+		Bytes:         st.Bytes,
+	}
+}
+
 // shardStatsJSON mirrors graphdim.ShardStats with stable JSON names.
 type shardStatsJSON struct {
 	Live                int     `json:"live"`
@@ -719,6 +925,9 @@ type collectionStatsResponse struct {
 	// Cache reports the query-result cache, omitted when the collection
 	// was created without one.
 	Cache *cacheStatsJSON `json:"cache,omitempty"`
+	// WAL reports the write-ahead log, omitted when the store runs
+	// without one (no -data directory).
+	WAL *walStatsJSON `json:"wal,omitempty"`
 }
 
 func collectionStatsJSON(c *graphdim.Collection) collectionStatsResponse {
@@ -733,6 +942,9 @@ func collectionStatsJSON(c *graphdim.Collection) collectionStatsResponse {
 			Evictions:     st.Cache.Evictions,
 			Invalidations: st.Cache.Invalidations,
 		}
+	}
+	if st.WAL != nil {
+		out.WAL = walStatsJSONOf(st.WAL)
 	}
 	for _, sh := range st.Shards {
 		out.Shards = append(out.Shards, shardStatsJSON{
@@ -766,6 +978,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if requests > 0 {
 		stats["mean_latency_ms"] = float64(s.latencyUS.Load()) / float64(requests) / 1e3
 	}
+	if dir := s.store.Dir(); dir != "" {
+		stats["data_dir"] = dir
+		stats["checkpoints"] = s.checkpoints.Load()
+		stats["checkpoint_errors"] = s.checkpointErrors.Load()
+		if ms := s.lastCheckpointMS.Load(); ms > 0 {
+			stats["last_checkpoint_unix_ms"] = ms
+		}
+	}
 	writeJSON(w, http.StatusOK, stats)
 }
 
@@ -774,15 +994,25 @@ func (s *server) fail(w http.ResponseWriter, status int, format string, args ...
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// failQuery reports a search/add/create error: 503 when the request's
-// deadline (or the client) cancelled the context, 400 for everything
-// else. One helper so the POST endpoints cannot diverge.
-func (s *server) failQuery(w http.ResponseWriter, ctx context.Context, err error) {
-	status := http.StatusBadRequest
-	if ctx.Err() != nil {
-		status = http.StatusServiceUnavailable
+// failQuery reports a search/add/create error, separating the three
+// cancellation stories: the client hung up (nobody is listening — log
+// and drop the response, a 503 here would only pollute the error class
+// the operator alerts on), the server's own -timeout deadline expired
+// (503, the server really was too slow), or a plain bad request (400).
+// One helper so the POST endpoints cannot diverge. ctx is the
+// requestContext-derived context the operation actually ran under.
+func (s *server) failQuery(w http.ResponseWriter, r *http.Request, ctx context.Context, err error) {
+	switch {
+	case r.Context().Err() != nil:
+		// The base request context ends only when the client disconnects
+		// (or the server shuts down) — before any -timeout verdict.
+		s.errors.Add(1)
+		log.Printf("%s %s abandoned by client: %v", r.Method, r.URL.Path, err)
+	case ctx.Err() != nil:
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.fail(w, http.StatusBadRequest, "%v", err)
 	}
-	s.fail(w, status, "%v", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -869,3 +869,272 @@ func TestConcurrentRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFailQueryClientDisconnect pins the disconnect half of failQuery: a
+// client that hangs up mid-request gets no response written at all (there
+// is nobody to read it), rather than a 503 blamed on the server.
+func TestFailQueryClientDisconnect(t *testing.T) {
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	coll, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(store, "default", 10, 30*time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the search starts
+	req := httptest.NewRequest(http.MethodPost, "/v1/collections/default/search?k=3",
+		strings.NewReader(queriesText(t, coll, 1))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnected client got a %d-byte response: %s", rec.Body.Len(), rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "" {
+		t.Fatalf("disconnected client got headers (Content-Type %q)", ct)
+	}
+	if got := s.errors.Load(); got != 1 {
+		t.Fatalf("errors counter = %d, want 1 (the abandoned request still counts)", got)
+	}
+}
+
+// TestFailQueryServerDeadline pins the other half: when the server's own
+// -timeout expires with the client still connected, the answer is a JSON
+// 503.
+func TestFailQueryServerDeadline(t *testing.T) {
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	coll, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(store, "default", 10, time.Nanosecond) // no search can finish
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/collections/default/search?engine=exact",
+		strings.NewReader(queriesText(t, coll, 1)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusServiceUnavailable)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Fatalf("503 body is not the JSON error shape: %q (err %v)", rec.Body.String(), err)
+	}
+}
+
+// TestPartialAddResponseShape pins the 207 body a partially applied add
+// batch answers with.
+func TestPartialAddResponseShape(t *testing.T) {
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	s := newServer(store, "default", 10, 30*time.Second)
+	rec := httptest.NewRecorder()
+	pe := &graphdim.PartialAddError{Applied: []int{25, 27}, Total: 5, Err: fmt.Errorf("shard 1: boom")}
+	s.writePartialAdd(rec, "default", pe)
+
+	if rec.Code != http.StatusMultiStatus {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusMultiStatus)
+	}
+	var body struct {
+		Error      string `json:"error"`
+		Collection string `json:"collection"`
+		AppliedIDs []int  `json:"applied_ids"`
+		Applied    int    `json:"applied"`
+		Total      int    `json:"total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding 207 body %q: %v", rec.Body.String(), err)
+	}
+	if body.Error == "" || body.Collection != "default" || !reflect.DeepEqual(body.AppliedIDs, []int{25, 27}) ||
+		body.Applied != 2 || body.Total != 5 {
+		t.Fatalf("207 body = %+v", body)
+	}
+	if !strings.Contains(body.Error, "boom") {
+		t.Fatalf("error %q does not carry the cause", body.Error)
+	}
+}
+
+// TestDurableRestartServesAcknowledgedWrites is the end-to-end durability
+// proof at the HTTP layer: adds acknowledged with 200 by a -data server,
+// no checkpoint, the process dies (nothing is flushed beyond the WAL's
+// own fsyncs), and a fresh server over the same directory serves the
+// writes.
+func TestDurableRestartServesAcknowledgedWrites(t *testing.T) {
+	dir := t.TempDir()
+	store, err := graphdim.OpenOrCreateStore(dir, graphdim.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, "default", 10, 30*time.Second))
+
+	extra := dataset.Chemical(dataset.ChemConfig{N: 4, MinVertices: 8, MaxVertices: 12, Seed: 91})
+	var buf bytes.Buffer
+	if err := graphdim.WriteGraphs(&buf, extra); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/collections/default/add", "text/plain", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added struct {
+		IDs  []int `json:"ids"`
+		Size int   `json:"size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&added); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(added.IDs) != len(extra) {
+		t.Fatalf("add: status %d, ids %v", resp.StatusCode, added.IDs)
+	}
+
+	// Kill the server: no graceful shutdown, no checkpoint. Close only
+	// drops file handles — the acknowledged adds exist solely as fsynced
+	// WAL records.
+	ts.Close()
+	store.Close()
+
+	store2, err := graphdim.OpenStore(dir, graphdim.StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer store2.Close()
+	ts2 := httptest.NewServer(newServer(store2, "default", 10, 30*time.Second))
+	defer ts2.Close()
+
+	// The recovered server must rank the added graph for its own query —
+	// recovery rebuilt its vector, not just its bytes.
+	var qbuf bytes.Buffer
+	if err := graphdim.WriteGraphs(&qbuf, extra[:1]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts2.URL+"/v1/collections/default/search?k=40", "text/plain", strings.NewReader(qbuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Results [][]struct {
+			ID       int     `json:"id"`
+			Distance float64 `json:"distance"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(sr.Results) != 1 {
+		t.Fatalf("search after restart: status %d, %d result rows", resp.StatusCode, len(sr.Results))
+	}
+	found := false
+	for _, r := range sr.Results[0] {
+		if r.ID == added.IDs[0] {
+			found = true
+			if r.Distance != 0 {
+				t.Fatalf("acknowledged add %d recovered with distance %v to itself", r.ID, r.Distance)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("restarted server does not rank the acknowledged add %d: %+v", added.IDs[0], sr.Results[0])
+	}
+
+	// Stats surface the WAL and the replayed writes.
+	resp, err = http.Get(ts2.URL + "/v1/collections/default/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		NextID int `json:"next_id"`
+		WAL    *struct {
+			LastSeq       uint64 `json:"last_seq"`
+			CheckpointSeq uint64 `json:"checkpoint_seq"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.WAL == nil {
+		t.Fatal("stats omit the wal block on a durable store")
+	}
+	if st.NextID != 25+len(extra) {
+		t.Fatalf("next_id = %d after restart, want %d", st.NextID, 25+len(extra))
+	}
+}
+
+// TestCheckpointEndpoint drives the manual checkpoint action and its
+// error case on a volatile store.
+func TestCheckpointEndpoint(t *testing.T) {
+	// Volatile store: the action must refuse.
+	tsVolatile, _ := newTestServer(t, 1, 30*time.Second)
+	resp, err := http.Post(tsVolatile.URL+"/v1/collections/default/checkpoint", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on volatile store: status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+
+	// Durable store: the action persists and truncates.
+	dir := t.TempDir()
+	store, err := graphdim.OpenOrCreateStore(dir, graphdim.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	coll, err := store.CreateFromIndex("default", buildTestIndex(t), graphdim.CollectionOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, "default", 10, 30*time.Second))
+	defer ts.Close()
+
+	extra := dataset.Chemical(dataset.ChemConfig{N: 2, MinVertices: 8, MaxVertices: 12, Seed: 92})
+	if _, err := coll.Add(context.Background(), extra...); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/collections/default/checkpoint", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Collection  string `json:"collection"`
+		Checkpoints int64  `json:"checkpoints"`
+		WAL         *struct {
+			LastSeq       uint64 `json:"last_seq"`
+			CheckpointSeq uint64 `json:"checkpoint_seq"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body.Checkpoints != 1 || body.WAL == nil {
+		t.Fatalf("checkpoint response: status %d, body %+v", resp.StatusCode, body)
+	}
+	if body.WAL.CheckpointSeq != body.WAL.LastSeq || body.WAL.LastSeq == 0 {
+		t.Fatalf("checkpoint did not cover the log: %+v", body.WAL)
+	}
+
+	// /stats reports the checkpoint counters for -data stores.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["data_dir"] != dir || stats["checkpoints"] != float64(1) {
+		t.Fatalf("/stats checkpoint counters: data_dir=%v checkpoints=%v", stats["data_dir"], stats["checkpoints"])
+	}
+}

@@ -12,10 +12,17 @@
 // collections sharded across parallel indexes by hashed graph placement,
 // fan-out search with a global top-k merge, background compaction that
 // rebuilds stale shards while readers keep serving, and Save/OpenStore
-// directory persistence with a manifest. cmd/gserve exposes a store over
-// a versioned /v1 HTTP API with graceful shutdown; the other commands
-// (gen, mine, dspm, gsearch, figures, benchjson) cover the rest of the
-// pipeline — see README.md for a tour.
+// directory persistence with a manifest. Stores opened against a data
+// directory (OpenStore, CreateStore, OpenOrCreateStore) are durable:
+// adds and removes are write-ahead logged (internal/wal) and fsynced
+// before they publish, Checkpoint persists a snapshot and truncates the
+// replayed log, and reopening replays the tail — a kill at any instant
+// recovers exactly the acknowledged writes. cmd/gserve exposes a store
+// over a versioned /v1 HTTP API (its -data flag is the durable
+// deployment path, with periodic, shutdown, and on-demand checkpoints)
+// with graceful shutdown; the other commands (gen, mine, dspm, gsearch,
+// figures, benchjson) cover the rest of the pipeline — see README.md
+// for a tour.
 //
 // The paper's algorithms and substrates are implemented under internal/
 // (see DESIGN.md for the full inventory and the concurrency model). The

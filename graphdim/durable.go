@@ -1,0 +1,358 @@
+package graphdim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// Durability. A store opened against a data directory (OpenStore,
+// CreateStore, OpenOrCreateStore) is durable: every committed
+// Collection.Add and Remove appends a record to a per-collection
+// write-ahead log (internal/wal) — fsynced before the shard state
+// publishes, so the write is on disk before any caller or reader can
+// observe it — and Checkpoint persists a full snapshot (the Save format)
+// plus the log position it covers, truncating replayed segments. Opening
+// the directory again loads the last checkpoint and replays the log
+// tail, so a process kill at any instant — SIGKILL included — recovers
+// exactly the committed writes.
+//
+// What is logged is deliberately minimal: the graphs and ids of add
+// batches and the ids of remove batches. Everything derivable from those
+// — binary vectors (the VF2 mapping is deterministic), posting lists,
+// the query cache, shard generation counters — is rebuilt during replay
+// rather than logged, which keeps the log small and the update path
+// decoupled from the read-side accelerators. Compaction likewise never
+// touches the log: a rebuild changes no logical content (records address
+// graphs by global id, which compaction preserves), so a swap between an
+// append and a checkpoint strands nothing.
+
+// walDirName is the per-collection log directory under the collection's
+// directory in the store's data dir.
+const walDirName = "wal"
+
+// lockFileName is the advisory single-owner lock at the root of a data
+// directory.
+const lockFileName = "LOCK"
+
+// lockDataDir takes an exclusive advisory lock on <dir>/LOCK — two
+// processes owning the same data directory would each truncate and
+// append the other's live log segments, exactly the acknowledged-write
+// loss the WAL exists to prevent. The lock dies with the process (flock
+// semantics; see flock_unix.go — non-unix platforms degrade to no
+// enforcement), so a kill -9 never strands it. Read-only opens
+// (WALOptions.Disabled) skip the lock: they may inspect a directory a
+// live server owns.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("graphdim: locking data directory: %w", err)
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graphdim: data directory %s is in use by another process (flock: %v)", dir, err)
+	}
+	return f, nil
+}
+
+// WALOptions configures the write-ahead log of a durable store (see
+// StoreOptions.WAL).
+type WALOptions struct {
+	// Disabled opens the store without a log: online writes are volatile
+	// until the next Save or Checkpoint, as with NewStore.
+	Disabled bool
+	// SegmentBytes caps one log segment file before the log rolls to a
+	// fresh one; zero means the wal default (64 MiB).
+	SegmentBytes int64
+	// NoSync skips the per-commit fsync: writes survive a clean shutdown
+	// but a kill can lose the OS write-back window. For tests and
+	// benchmarks.
+	NoSync bool
+}
+
+func (o WALOptions) options() wal.Options {
+	return wal.Options{SegmentBytes: o.SegmentBytes, NoSync: o.NoSync}
+}
+
+// WALStats reports a collection's write-ahead log counters (see
+// CollectionStats.WAL).
+type WALStats struct {
+	// Appends counts committed log records since open; Syncs the fsyncs
+	// they issued.
+	Appends, Syncs int64
+	// LastSeq is the newest record's sequence number; CheckpointSeq is
+	// the highest sequence covered by a checkpoint. The gap between them
+	// is the tail a crash would replay.
+	LastSeq, CheckpointSeq uint64
+	// Segments and Bytes describe the log's on-disk footprint.
+	Segments int
+	Bytes    int64
+}
+
+// PartialAddError reports a Collection.Add that landed on some shards
+// but failed on others: the graphs whose global ids are in Applied are
+// committed and searchable (and, on a durable store, logged as such),
+// the rest of the batch is not, and the batch's ids are burned either
+// way. Callers that need all-or-nothing semantics should treat the
+// applied ids as an incomplete write and Remove them.
+type PartialAddError struct {
+	// Applied holds the global ids that committed, ascending.
+	Applied []int
+	// Total is the size of the attempted batch.
+	Total int
+	// Err is the first underlying per-shard failure.
+	Err error
+}
+
+func (e *PartialAddError) Error() string {
+	// The message stays bounded for huge batches; the full id list is in
+	// Applied for callers that need it.
+	ids := "none"
+	if n := len(e.Applied); n > 0 && n <= 8 {
+		ids = fmt.Sprint(e.Applied)
+	} else if n > 8 {
+		ids = fmt.Sprintf("[%d ... %d]", e.Applied[0], e.Applied[n-1])
+	}
+	return fmt.Sprintf("graphdim: add applied %d of %d graphs (ids %s) before failing: %v",
+		len(e.Applied), e.Total, ids, e.Err)
+}
+
+func (e *PartialAddError) Unwrap() error { return e.Err }
+
+// Dir returns the data directory this store is attached to, or "" for a
+// purely in-memory store (NewStore, never durable).
+func (s *Store) Dir() string { return s.dir }
+
+// CreateStore initializes an empty durable store at dir: the directory
+// is created, an empty manifest written, and every collection created
+// afterwards persists immediately and logs its writes. It fails if dir
+// already holds a store.
+func CreateStore(dir string, opt StoreOptions) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("graphdim: create store: %s already holds a store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graphdim: create store: %w", err)
+	}
+	s := NewStore(opt)
+	s.dir = dir
+	if !opt.WAL.Disabled {
+		lock, err := lockDataDir(dir)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.lock = lock
+	}
+	if err := s.saveTo(dir, false, nil); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenOrCreateStore opens the store at dir, or initializes an empty one
+// if the directory holds no manifest — the open-or-create entry point a
+// serving process wants at startup. Only a missing manifest triggers the
+// create branch: a manifest that opens with errors (a missing shard
+// file, say) is a broken store and reports as exactly that.
+func OpenOrCreateStore(dir string, opt StoreOptions) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); errors.Is(err, fs.ErrNotExist) {
+		return CreateStore(dir, opt)
+	}
+	return OpenStore(dir, opt)
+}
+
+// Checkpoint persists the whole store to its data directory — exactly a
+// Save — records per collection the log position the snapshot covers,
+// and truncates every fully replayed log segment. After a checkpoint a
+// reopen replays only the records committed since. It fails on a store
+// without a data directory.
+//
+// Checkpoints, Saves, and background compaction may all run while the
+// store serves reads and writes; checkpoints of one store serialize with
+// each other and with Save.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return fmt.Errorf("graphdim: store has no data directory (open it with OpenStore, CreateStore or OpenOrCreateStore)")
+	}
+	return s.saveTo(s.dir, true, nil)
+}
+
+// Checkpoints returns how many checkpoints this store has completed
+// since it was opened.
+func (s *Store) Checkpoints() int64 { return s.checkpoints.Load() }
+
+// attachWAL opens (or creates) the collection's log under the store's
+// data directory. No-op on a non-durable store or when the WAL is
+// disabled.
+func (s *Store) attachWAL(c *Collection) error {
+	if s.dir == "" || s.walOpt.Disabled {
+		return nil
+	}
+	l, err := wal.Open(filepath.Join(s.dir, c.name, walDirName), s.walOpt.options())
+	if err != nil {
+		return fmt.Errorf("graphdim: collection %q: %w", c.name, err)
+	}
+	c.wal = l
+	return nil
+}
+
+// verifyNoWALTail guards a WAL-disabled open of a durable directory: if
+// the collection's log holds acknowledged records beyond the checkpoint
+// at seq, opening without replay would silently drop them (and a later
+// WAL-enabled open would replay them over a diverged image), so the open
+// is refused instead.
+func (s *Store) verifyNoWALTail(name string, seq uint64) error {
+	// Read-only peek: a disabled open must not truncate torn tails or
+	// otherwise write — it may be inspecting a directory another
+	// process's live log owns, or a read-only mount.
+	last, err := wal.LastSeqIn(filepath.Join(s.dir, name, walDirName))
+	if err != nil {
+		return fmt.Errorf("graphdim: collection %q: %w", name, err)
+	}
+	if last > seq {
+		return fmt.Errorf("graphdim: collection %q has %d unreplayed wal records beyond the checkpoint; open without WALOptions.Disabled to recover them", name, last-seq)
+	}
+	return nil
+}
+
+// replayWAL applies the log tail after seq onto the collection's
+// just-loaded checkpoint state. A TypeApplied record amends the add
+// batch directly before it (partial or aborted applies); everything
+// else applies verbatim. Replay is deterministic — the VF2 mapping
+// depends only on the graph and the dimension set — so the recovered
+// state is bit-identical to the pre-crash committed state.
+func (c *Collection) replayWAL(seq uint64) error {
+	ctx := context.Background()
+	var pending *wal.Record
+	flush := func() error {
+		if pending == nil {
+			return nil
+		}
+		rec := pending
+		pending = nil
+		return c.replayAdd(ctx, rec.First, rec.Graphs, nil)
+	}
+	err := c.wal.Replay(seq, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.TypeAdd:
+			if err := flush(); err != nil {
+				return err
+			}
+			r := rec
+			pending = &r
+			return nil
+		case wal.TypeApplied:
+			if pending == nil || pending.First != rec.First || len(pending.Graphs) != rec.Total {
+				return fmt.Errorf("graphdim: wal record %d amends no matching add batch", rec.Seq)
+			}
+			add := pending
+			pending = nil
+			if len(rec.IDs) == 0 {
+				// The batch never landed anywhere and its ids were not
+				// burned: skip it entirely.
+				return nil
+			}
+			return c.replayAdd(ctx, add.First, add.Graphs, rec.IDs)
+		case wal.TypeRemove:
+			if err := flush(); err != nil {
+				return err
+			}
+			return c.replayRemove(rec.IDs)
+		default:
+			return fmt.Errorf("graphdim: wal record %d has unknown type %d", rec.Seq, rec.Type)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// replayAdd re-applies one logged add batch: all of it, or — after a
+// partial apply — just the subset in applied. The batch's ids are
+// burned in either case, exactly as the original Add did.
+func (c *Collection) replayAdd(ctx context.Context, first int, gs []*Graph, applied []int) error {
+	ids := applied
+	if ids == nil {
+		ids = make([]int, len(gs))
+		for i := range gs {
+			ids[i] = first + i
+		}
+	}
+	perShard := make(map[int]*shardBatch)
+	for _, id := range ids {
+		if id < first || id >= first+len(gs) {
+			return fmt.Errorf("graphdim: wal applied id %d outside batch [%d,%d)", id, first, first+len(gs))
+		}
+		sh := placeID(id, len(c.shards))
+		b := perShard[sh]
+		if b == nil {
+			b = &shardBatch{}
+			perShard[sh] = b
+		}
+		b.gs = append(b.gs, gs[id-first])
+		b.globals = append(b.globals, id)
+	}
+	// Deterministic shard order; replay is offline, so sequential per-
+	// shard application is fine (the per-shard mapping still fans out
+	// across the index's workers).
+	order := make([]int, 0, len(perShard))
+	for sh := range perShard {
+		order = append(order, sh)
+	}
+	sort.Ints(order)
+	for _, shIdx := range order {
+		b := perShard[shIdx]
+		if err := c.shards[shIdx].add(ctx, b.gs, b.globals); err != nil {
+			return fmt.Errorf("graphdim: replaying add batch at id %d on shard %d: %w", first, shIdx, err)
+		}
+	}
+	if next := int64(first + len(gs)); next > c.nextID.Load() {
+		c.nextID.Store(next)
+	}
+	return nil
+}
+
+// replayRemove re-applies one logged remove batch.
+func (c *Collection) replayRemove(ids []int) error {
+	perShard := make(map[int][]int)
+	for _, id := range ids {
+		sh := placeID(id, len(c.shards))
+		perShard[sh] = append(perShard[sh], id)
+	}
+	order := make([]int, 0, len(perShard))
+	for sh := range perShard {
+		order = append(order, sh)
+	}
+	sort.Ints(order)
+	for _, shIdx := range order {
+		if err := c.shards[shIdx].remove(perShard[shIdx]); err != nil {
+			return fmt.Errorf("graphdim: replaying remove on shard %d: %w", shIdx, err)
+		}
+	}
+	return nil
+}
+
+// walStats snapshots the collection's log counters; nil without a log.
+func (c *Collection) walStats() *WALStats {
+	if c.wal == nil {
+		return nil
+	}
+	st := c.wal.Stats()
+	return &WALStats{
+		Appends:       st.Appends,
+		Syncs:         st.Syncs,
+		LastSeq:       st.LastSeq,
+		CheckpointSeq: st.CheckpointSeq,
+		Segments:      st.Segments,
+		Bytes:         st.Bytes,
+	}
+}

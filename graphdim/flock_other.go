@@ -1,0 +1,11 @@
+//go:build !unix
+
+package graphdim
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock semantics: the
+// single-owner guard degrades to unenforced there (an O_EXCL lock file
+// would strand after a kill, which is worse than no lock). The library
+// still builds and runs; the operator owns the one-process discipline.
+func flockExclusive(*os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package graphdim
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f. The
+// kernel releases it automatically when the process dies — including
+// kill -9 — so a crashed owner never strands the data directory.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

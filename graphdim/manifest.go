@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/wal"
 )
 
 // A store persists as a directory: a store.json manifest naming every
@@ -52,6 +54,11 @@ type collectionManifest struct {
 	ShardFiles []string `json:"shard_files"`
 	// ShardGlobals[i] is shard i's strictly ascending local→global table.
 	ShardGlobals [][]int `json:"shard_globals"`
+	// WALSeq is the write-ahead-log sequence number this snapshot covers:
+	// every logged record with a sequence <= WALSeq is already reflected
+	// in the shard files, so opening the store replays only the records
+	// after it. Zero for stores that never logged.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // buildManifest mirrors the scalar fields of Options (Progress does not
@@ -148,6 +155,23 @@ func (m defaultsManifest) options() (SearchOptions, error) {
 	return o, nil
 }
 
+// writeFileSync is os.WriteFile plus an fsync before close.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // shardPattern names a new shard file; the "*" is replaced by a unique
 // token (os.CreateTemp), so successive saves never touch each other's
 // files.
@@ -162,29 +186,79 @@ func shardPattern(shard int) string {
 // so a crash or error at any point leaves the previous on-disk generation
 // fully loadable; files the new manifest supersedes (and the debris of
 // failed saves) are deleted only after the swap. Save may run
-// concurrently with queries; each collection's writers are paused while
-// its shard files stream out, so a multi-shard Add is either fully in the
-// saved image or fully absent — never split across shards. Saves of one
+// concurrently with queries and writes; each collection's writers pause
+// only while its per-shard snapshot pointers are captured (O(shards)),
+// not while the files stream out, and the capture is atomic under the
+// writer lock — a multi-shard Add is either fully in the saved image or
+// fully absent, never split across shards. Saves of one
 // Store are serialized with each other (the sweep must not race another
 // save's in-flight files); saving the same directory from two different
 // Store values is not supported.
-func (s *Store) Save(dir string) error {
+func (s *Store) Save(dir string) error { return s.saveTo(dir, false, nil) }
+
+// saveTo is Save plus, for Checkpoint (truncate = true), log-position
+// bookkeeping: each collection's manifest entry records the WAL sequence
+// its shard files cover, and after the manifest swap the fully replayed
+// log segments are deleted. On any error the files this attempt wrote
+// are removed again, so a failed save leaves the directory exactly as
+// the previous successful one did — the previous manifest and every file
+// it references are never touched either way.
+//
+// extra, when non-nil, is a collection mid-create: it is included in the
+// image and published into s.collections the moment the manifest
+// installs, still under saveMu — so no other checkpoint can ever
+// observe it registered-but-unmanifested (its writes would be swept) or
+// manifested-but-unregistered (a crash would lose an acknowledged
+// create).
+func (s *Store) saveTo(dir string, truncate bool, extra *Collection) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
+	return s.saveToLocked(dir, truncate, extra)
+}
+
+// saveToLocked is saveTo's body; the caller holds saveMu. Split out so
+// a durable create can claim its wal directory and checkpoint under one
+// continuous saveMu hold — a sweep can then never run between the two
+// and mistake the fresh directory for droppable debris.
+func (s *Store) saveToLocked(dir string, truncate bool, extra *Collection) (err error) {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	var written []string
+	defer func() {
+		if err == nil {
+			return
+		}
+		// Failed attempt: sweep this attempt's debris (fresh shard files,
+		// the temp manifest). Shard files of the live manifest are never
+		// in written, so the previous generation stays fully loadable.
+		for _, p := range written {
+			os.Remove(p)
+		}
+		os.Remove(tmp)
+	}()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("graphdim: save store: %w", err)
 	}
-	s.mu.RLock()
-	names := make([]string, 0, len(s.collections))
-	colls := make([]*Collection, 0, len(s.collections))
-	for name := range s.collections {
-		names = append(names, name)
+	// An export is a save to a directory the store's logs do not live
+	// in. Misclassifying a save of the store's own directory as an
+	// export would sweep the live logs, so aliased spellings (relative
+	// vs absolute, symlinks) are resolved by comparing the actual
+	// directories, not just cleaned path strings.
+	exported := s.dir == ""
+	if !exported && filepath.Clean(dir) != filepath.Clean(s.dir) {
+		di, err1 := os.Stat(dir)
+		si, err2 := os.Stat(s.dir)
+		exported = err1 != nil || err2 != nil || !os.SameFile(di, si)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		colls = append(colls, s.collections[name])
+	s.mu.RLock()
+	colls := make([]*Collection, 0, len(s.collections)+1)
+	for _, c := range s.collections {
+		colls = append(colls, c)
 	}
 	s.mu.RUnlock()
+	if extra != nil {
+		colls = append(colls, extra)
+	}
+	sort.Slice(colls, func(i, j int) bool { return colls[i].name < colls[j].name })
 
 	man := storeManifest{Version: manifestVersion, Placement: placementSplitMix64}
 	for _, c := range colls {
@@ -201,17 +275,55 @@ func (s *Store) Save(dir string) error {
 			ShardFiles:   make([]string, len(c.shards)),
 			ShardGlobals: make([][]int, len(c.shards)),
 		}
-		// Holding the collection writer lock across all shard writes keeps
-		// the saved image transactionally consistent: an Add spanning
-		// several shards is either fully included or fully excluded.
-		// Readers are unaffected; writers to this collection wait.
+		// The writer lock is held only while the per-shard snapshot
+		// pointers are captured — O(shards), not for the (slow) encode
+		// and fsync below — yet the image stays transactionally
+		// consistent: writers serialize on this same lock, so an Add
+		// spanning several shards is either fully included or fully
+		// excluded, and the WAL sequence captured here is exactly the
+		// last record the captured states reflect. The states themselves
+		// are immutable (copy-on-write), so encoding them lock-free is
+		// safe while Adds, Removes, and compactions continue.
 		c.addMu.Lock()
+		images := make([]shardImage, len(c.shards))
+		for i, sh := range c.shards {
+			st := sh.state.Load()
+			// Pin the index snapshot too: the shard state's idx keeps
+			// advancing after the lock is released, and the image must
+			// stay exactly the one the captured id table and WAL
+			// sequence describe.
+			images[i] = shardImage{st: st, snap: st.idx.snap.Load()}
+		}
+		cm.NextID = int(c.nextID.Load())
+		switch {
+		case exported:
+			// Export to a foreign directory: the snapshot ships without
+			// its log, so it must not claim to cover one — wal_seq 0
+			// makes an opened copy's fresh log replay from the start.
+			// (The source log's positions mean nothing to the copy.)
+			cm.WALSeq = 0
+		case c.wal != nil:
+			cm.WALSeq = c.wal.LastSeq()
+		default:
+			// No log (WAL disabled): keep the loaded position — segments
+			// up to it may still exist on disk, and a lower wal_seq would
+			// make a later WAL-enabled open replay records this snapshot
+			// already contains.
+			cm.WALSeq = c.walBase
+		}
+		c.addMu.Unlock()
 		errs := make([]error, len(c.shards))
 		_ = s.budget.ForContext(context.Background(), len(c.shards), func(i int) {
-			cm.ShardFiles[i], cm.ShardGlobals[i], errs[i] = c.shards[i].save(cdir, i)
+			cm.ShardFiles[i], cm.ShardGlobals[i], errs[i] = writeShardImage(cdir, i, images[i])
 		})
-		cm.NextID = int(c.nextID.Load())
-		c.addMu.Unlock()
+		// Collect every file the fan-out created before acting on any
+		// error: the cleanup must see them all, or a failed save would
+		// leave the successful shards' fresh files as debris.
+		for _, f := range cm.ShardFiles {
+			if f != "" {
+				written = append(written, filepath.Join(cdir, f))
+			}
+		}
 		for i, err := range errs {
 			if err != nil {
 				return fmt.Errorf("graphdim: save %s shard %d: %w", c.name, i, err)
@@ -224,22 +336,67 @@ func (s *Store) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("graphdim: save store: %w", err)
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// The manifest is fsynced before the rename and the directories
+	// after it, so by the time the truncation below deletes WAL
+	// records the snapshot replacing them has actually reached the
+	// disk — a power cut can land on either side of the swap, never on
+	// a snapshot that exists only in the page cache.
+	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("graphdim: save store: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("graphdim: save store: %w", err)
 	}
-	sweepOrphans(dir, man)
+	for _, cm := range man.Collections {
+		wal.SyncDir(filepath.Join(dir, cm.Name))
+	}
+	wal.SyncDir(dir)
+	// Point of no return: the manifest rename installed the snapshot, so
+	// the checkpoint has succeeded — the fresh files must survive any
+	// later hiccup, and nothing past here may turn into a reported
+	// failure (callers compensate for failed checkpoints by un-creating
+	// or un-dropping collections, which would be wrong against an
+	// installed manifest). Log truncation is therefore best-effort, like
+	// the orphan sweep: an unreclaimed segment costs disk, never
+	// correctness — replay skips records <= WALSeq.
+	written = nil
+	if extra != nil {
+		// Publish the freshly persisted collection while still holding
+		// saveMu — see the doc comment.
+		s.mu.Lock()
+		s.collections[extra.name] = extra
+		s.mu.Unlock()
+	}
+	// Collections mid-create have claimed their directory (and possibly
+	// a live wal segment) but are not in this manifest yet: the sweep
+	// must leave them alone. Their own create checkpoint settles them.
+	s.mu.RLock()
+	inCreation := make(map[string]bool, len(s.creating))
+	for name := range s.creating {
+		inCreation[name] = true
+	}
+	s.mu.RUnlock()
+	sweepOrphans(dir, man, inCreation, exported)
+	if truncate {
+		for i, c := range colls {
+			if c.wal != nil {
+				_ = c.wal.Checkpoint(man.Collections[i].WALSeq)
+			}
+		}
+		s.checkpoints.Add(1)
+	}
 	return nil
 }
 
 // sweepOrphans deletes shard files the just-installed manifest does not
 // reference: superseded generations, the debris of failed saves, and the
-// directories of collections dropped since the previous save. Best-effort
-// — an undeleted orphan costs disk, never correctness.
-func sweepOrphans(dir string, man storeManifest) {
+// directories of collections dropped since the previous save. Names in
+// inCreation are skipped entirely (a concurrent create owns them); with
+// exported set (a Save to a directory the store's logs do not live in),
+// stale wal segments under live collections are retired too, since the
+// written manifest claims no log position. Best-effort — an undeleted
+// orphan costs disk, never correctness.
+func sweepOrphans(dir string, man storeManifest, inCreation map[string]bool, exported bool) {
 	live := make(map[string]map[string]bool, len(man.Collections))
 	for _, cm := range man.Collections {
 		keep := make(map[string]bool, len(cm.ShardFiles))
@@ -258,6 +415,9 @@ func sweepOrphans(dir string, man storeManifest) {
 		if !d.IsDir() || !collectionName.MatchString(d.Name()) {
 			continue
 		}
+		if inCreation[d.Name()] {
+			continue
+		}
 		keep := live[d.Name()] // nil (keep nothing) for dropped collections
 		cdir := filepath.Join(dir, d.Name())
 		files, err := os.ReadDir(cdir)
@@ -270,41 +430,82 @@ func sweepOrphans(dir string, man storeManifest) {
 				os.Remove(filepath.Join(cdir, name))
 			}
 		}
+		if keep == nil || exported {
+			// Retire the write-ahead log: of a dropped collection always,
+			// of a live one only in an exported image (its manifest says
+			// wal_seq 0, so leftover segments from an older store in this
+			// directory would wrongly replay). Deliberately artifact-by-
+			// artifact rather than RemoveAll — a foreign directory that
+			// merely matches the name grammar (an operator's "backups/")
+			// must never be recursively deleted.
+			wdir := filepath.Join(cdir, walDirName)
+			if segs, err := os.ReadDir(wdir); err == nil {
+				for _, e := range segs {
+					if strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".wal") {
+						os.Remove(filepath.Join(wdir, e.Name()))
+					}
+				}
+				os.Remove(wdir)
+			}
+		}
 		if keep == nil {
-			// Dropped collection: remove its directory if now empty.
+			// Dropped collection: remove the directory too, if now empty.
 			os.Remove(cdir)
 		}
 	}
 }
 
-// save writes the shard's index to a fresh uniquely named file in cdir
-// and returns its basename plus the id table matching exactly the
-// snapshot written. The writer lock is held for the duration: readers
-// proceed, writers to this shard wait. Nothing pre-existing is touched.
-func (sh *shard) save(cdir string, i int) (string, []int, error) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st := sh.state.Load()
+// shardImage is one shard's pinned checkpoint view: the shard state (for
+// the id table and the index's codec parameters) plus the index snapshot
+// frozen at capture time.
+type shardImage struct {
+	st   *shardState
+	snap *snapshot
+}
+
+// writeShardImage writes one captured shard image to a fresh uniquely
+// named file in cdir and returns its basename plus the id table matching
+// exactly the snapshot written. Both halves of the image are immutable,
+// so no locks are held: readers and writers proceed while the file
+// streams out. Nothing pre-existing is touched.
+func writeShardImage(cdir string, i int, img shardImage) (string, []int, error) {
 	f, err := os.CreateTemp(cdir, shardPattern(i))
 	if err != nil {
 		return "", nil, err
 	}
 	name := filepath.Base(f.Name())
-	if _, err := st.idx.WriteTo(f); err != nil {
+	if _, err := img.st.idx.writeSnapshot(f, img.snap, true); err != nil {
 		f.Close()
+		os.Remove(f.Name())
+		return "", nil, err
+	}
+	// fsync before the manifest can reference the file: a checkpoint
+	// deletes WAL records on the strength of this snapshot, so the
+	// snapshot must be at least as durable as the records it replaces.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
 		return "", nil, err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
 		return "", nil, err
 	}
-	// Under mu the table cannot outrun the index; copy defensively anyway.
-	globals := append([]int(nil), st.globals[:st.idx.TotalGraphs()]...)
+	// Captured under addMu with no Add in flight, the table cannot outrun
+	// the pinned snapshot; bound by the snapshot, not the live index,
+	// which may have grown since capture.
+	globals := append([]int(nil), img.st.globals[:len(img.snap.db)]...)
 	return name, globals, nil
 }
 
-// OpenStore loads a store previously written by Save, reading the shard
-// indexes in parallel under the new store's budget. The options configure
-// the returned store exactly as NewStore does — the compaction policy and
+// OpenStore loads a store previously written by Save or Checkpoint,
+// reading the shard indexes in parallel under the new store's budget and
+// then replaying each collection's write-ahead-log tail over its
+// checkpointed state, so the store comes back holding exactly the writes
+// that were committed — checkpointed or not — when the previous process
+// stopped, however it stopped. The opened store is durable: subsequent
+// writes log to dir (unless opt.WAL.Disabled). The options configure the
+// returned store exactly as NewStore does — the compaction policy and
 // worker budget are runtime settings, not persisted state.
 func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
@@ -323,9 +524,43 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	}
 
 	s := NewStore(opt)
+	s.dir = dir
+	if !opt.WAL.Disabled {
+		// Single-owner guard, taken before any log is opened (and
+		// possibly torn-tail truncated): a second process must fail here,
+		// not corrupt the first one's live segments.
+		lock, err := lockDataDir(dir)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.lock = lock
+	}
 	for _, cm := range man.Collections {
 		c, err := s.loadCollection(dir, cm)
+		if err == nil {
+			c.walBase = cm.WALSeq
+			if s.walOpt.Disabled {
+				// No log will attach, so nothing would replay: refuse if
+				// the directory holds acknowledged records beyond the
+				// checkpoint rather than silently dropping them.
+				err = s.verifyNoWALTail(c.name, cm.WALSeq)
+			} else if err = s.attachWAL(c); err == nil && c.wal != nil {
+				// Recover the log tail: committed records the checkpoint
+				// does not cover. attachWAL also truncates any torn record
+				// a crash left behind the last committed one, and
+				// re-seeding the checkpoint position both fixes the stats
+				// and reclaims segments a crash between manifest swap and
+				// truncation left behind.
+				if err = c.replayWAL(cm.WALSeq); err == nil {
+					err = c.wal.Checkpoint(cm.WALSeq)
+				}
+			}
+		}
 		if err != nil {
+			if c != nil && c.wal != nil {
+				c.wal.Close()
+			}
 			s.Close()
 			return nil, fmt.Errorf("graphdim: open store: collection %q: %w", cm.Name, err)
 		}

@@ -106,7 +106,13 @@ func (ix *Index) writeToV2(w io.Writer) (int64, error) {
 }
 
 func (ix *Index) writeBinary(w io.Writer, postings bool) (int64, error) {
-	s := ix.snap.Load()
+	return ix.writeSnapshot(w, ix.snap.Load(), postings)
+}
+
+// writeSnapshot encodes one explicit (already captured) snapshot — the
+// store's checkpoint path pins a snapshot under the writer lock and
+// encodes it later, lock-free, while the index keeps moving.
+func (ix *Index) writeSnapshot(w io.Writer, s *snapshot, postings bool) (int64, error) {
 	magic := magicV3
 	if !postings {
 		magic = magicV2

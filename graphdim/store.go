@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"os"
 	"regexp"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/pool"
 	"repro/internal/vecspace"
+	"repro/internal/wal"
 )
 
 // Store manages named collections of sharded indexes — the layer between
@@ -34,9 +36,25 @@ type Store struct {
 	policy CompactionPolicy
 	onComp func(collection string, shard int, err error)
 
+	// dir is the data directory of a durable store ("" = in-memory only);
+	// walOpt configures the per-collection write-ahead logs under it, and
+	// checkpoints counts completed Checkpoint calls. See durable.go.
+	dir         string
+	walOpt      WALOptions
+	checkpoints atomic.Int64
+	// lock is the data directory's single-owner flock file, nil for
+	// in-memory and read-only (WAL-disabled) stores; released by Close.
+	lock *os.File
+
 	mu          sync.RWMutex
 	collections map[string]*Collection
-	closed      bool
+	// creating reserves collection names mid-create, between claiming
+	// the name (and its on-disk wal directory) and publishing the fully
+	// initialized collection — so a duplicate create can never open a
+	// second log on a live directory, and a collection is never
+	// reachable before its wal field is set.
+	creating map[string]bool
+	closed   bool
 	// saveMu serializes Save calls: a save sweeps files the just-written
 	// manifest does not reference, which would delete a concurrent save's
 	// in-flight shard files.
@@ -87,6 +105,10 @@ type StoreOptions struct {
 	// (nil on success) — the hook serving layers log from. It must be
 	// safe for concurrent calls.
 	OnCompaction func(collection string, shard int, err error)
+	// WAL configures the write-ahead log of a durable store (OpenStore,
+	// CreateStore, OpenOrCreateStore); NewStore ignores it — a store
+	// without a data directory has nowhere to log.
+	WAL WALOptions
 }
 
 // NewStore returns an empty store and, if the policy has an interval,
@@ -96,7 +118,9 @@ func NewStore(opt StoreOptions) *Store {
 		budget:      pool.NewBudget(opt.Workers),
 		policy:      opt.Compaction,
 		onComp:      opt.OnCompaction,
+		walOpt:      opt.WAL,
 		collections: make(map[string]*Collection),
+		creating:    make(map[string]bool),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
@@ -110,9 +134,14 @@ func NewStore(opt StoreOptions) *Store {
 }
 
 // Close stops the background compactor, cancelling any rebuild it has in
-// flight (the shard being rebuilt is left on its old generation), and
-// waits for the loop to exit. The collections stay usable; Close only ends
-// the background activity. It is idempotent.
+// flight (the shard being rebuilt is left on its old generation), waits
+// for the loop to exit, and closes every collection's write-ahead log.
+// Close does NOT checkpoint — records already fsynced stay on disk for
+// the next open to replay, so closing without a checkpoint is exactly a
+// crash as far as the data directory is concerned (serving layers
+// checkpoint first on a graceful shutdown). The collections stay
+// readable; on a durable store, writes after Close fail at the log. It
+// is idempotent.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -124,6 +153,14 @@ func (s *Store) Close() {
 	s.bgCancel()
 	close(s.stop)
 	<-s.done
+	for _, c := range s.snapshotCollections() {
+		if c.wal != nil {
+			c.wal.Close()
+		}
+	}
+	if s.lock != nil {
+		s.lock.Close() // releases the data directory's flock
+	}
 }
 
 func (s *Store) compactLoop() {
@@ -256,10 +293,26 @@ type Collection struct {
 	cacheOpt CacheOptions
 	cache    *queryCache // nil when the cache is disabled
 
+	// wal is the collection's write-ahead log on a durable store (nil
+	// otherwise): Add and Remove append — and fsync — a record under
+	// addMu before any shard publishes, so an acknowledged write is on
+	// disk before it is observable. See durable.go.
+	wal *wal.Log
+	// walBase is the log position the loaded checkpoint covered, carried
+	// so saves on a WAL-disabled open preserve it instead of resetting
+	// wal_seq below segments still on disk (which a later WAL-enabled
+	// open would then wrongly replay).
+	walBase uint64
+
 	addMu sync.Mutex // serializes writers (Add, Remove) collection-wide
 	// nextID is written under addMu; atomic so read-only paths (Stats)
 	// never block behind a long Add or Save holding the writer lock.
 	nextID atomic.Int64
+
+	// failShard, when non-nil, injects a per-shard failure into Add's
+	// fan-out — test-only, for exercising partial-apply paths that
+	// otherwise need precisely timed cancellation.
+	failShard func(shard int) error
 }
 
 // Create builds a new collection from db: one dimension selection over the
@@ -371,12 +424,57 @@ func (s *Store) CreateFromIndex(name string, src *Index, opt CollectionOptions) 
 		})
 	}
 
+	// Reserve the name before touching its wal directory — a losing
+	// duplicate create must never run torn-tail recovery against a live
+	// collection's log — and publish the collection only after its wal
+	// field is set, so no reader ever observes it half-initialized.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.collections[name]; ok {
+	if _, ok := s.collections[name]; ok || s.creating[name] {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("graphdim: collection %q already exists", name)
 	}
-	s.collections[name] = c
+	s.creating[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, name)
+		s.mu.Unlock()
+	}()
+
+	// The wal directory is claimed and the create checkpoint installed
+	// under one continuous saveMu hold: a concurrent checkpoint's sweep
+	// can therefore never observe the fresh (not yet manifested)
+	// directory and unlink its live segment.
+	s.saveMu.Lock()
+	if err := s.attachWAL(c); err != nil {
+		s.saveMu.Unlock()
+		return nil, err
+	}
+
+	// The initial build is never logged (replaying a mining run would be
+	// absurd); a durable create persists it right away instead, and the
+	// collection becomes reachable only once that checkpoint is
+	// installed — so no write can be acknowledged against a collection
+	// that would vanish if the checkpoint failed, and a successful
+	// create is itself durable. (saveToLocked publishes the collection
+	// under its own lock; see its doc comment.) A checkpoint covers the
+	// whole store — create and drop are rare admin operations, priced
+	// accordingly.
+	if s.dir != "" {
+		if err := s.saveToLocked(s.dir, true, c); err != nil {
+			s.saveMu.Unlock()
+			if c.wal != nil {
+				c.wal.Close()
+			}
+			return nil, fmt.Errorf("graphdim: persisting new collection %q: %w", name, err)
+		}
+		s.saveMu.Unlock()
+	} else {
+		s.saveMu.Unlock()
+		s.mu.Lock()
+		s.collections[name] = c
+		s.mu.Unlock()
+	}
 	return c, nil
 }
 
@@ -400,16 +498,45 @@ func (s *Store) Collections() []string {
 	return out
 }
 
-// Drop removes the named collection from the store. In-flight operations
+// Drop removes the named collection from the store. In-flight reads
 // against the collection finish normally — the collection object stays
-// valid, it just stops being reachable by name.
+// valid, it just stops being reachable by name. On a durable store the
+// drop checkpoints immediately (so a restart does not resurrect the
+// collection) and closes its log: late writes to the dropped collection
+// fail rather than append to a deleted log.
 func (s *Store) Drop(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.collections[name]; !ok {
+	c, ok := s.collections[name]
+	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("graphdim: collection %q not found", name)
 	}
 	delete(s.collections, name)
+	s.mu.Unlock()
+	// Close the log BEFORE the checkpoint whose sweep deletes its
+	// segments: a late Add through a retained handle must fail loudly at
+	// the closed log, never be acknowledged into an unlinked segment.
+	if c.wal != nil {
+		c.wal.Close()
+	}
+	if s.dir != "" {
+		if err := s.Checkpoint(); err != nil {
+			// Un-drop: a failed checkpoint must not leave memory (gone)
+			// and disk (still present, resurrected on restart)
+			// disagreeing — unless a racing create took the name in the
+			// meantime, in which case the drop stands and the next
+			// successful checkpoint settles the directory. The restored
+			// collection keeps its closed log, so further writes fail
+			// until a restart recovers the store properly — the failing
+			// disk behind the failed checkpoint needs attention anyway.
+			s.mu.Lock()
+			if _, taken := s.collections[name]; !taken {
+				s.collections[name] = c
+			}
+			s.mu.Unlock()
+			return fmt.Errorf("graphdim: persisting drop of %q: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -655,7 +782,13 @@ func mergeTopK(outs []shardOut, k int) []Result {
 // are serialized collection-wide; readers are never blocked (each shard
 // publishes copy-on-write state). Each shard applies its slice atomically,
 // but a mid-batch error — cancellation included — can leave the slices of
-// shards that already finished applied; the error reports that.
+// shards that already finished applied; the call then returns a
+// *PartialAddError naming exactly the ids that committed.
+//
+// On a durable store the batch is appended to the collection's
+// write-ahead log — and fsynced — before any shard publishes, so every
+// id this method reports as committed (returned ids, or
+// PartialAddError.Applied) survives a crash.
 func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
 	for i, g := range gs {
 		if g == nil {
@@ -664,6 +797,12 @@ func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
 	}
 	if len(gs) == 0 {
 		return nil, nil
+	}
+	// A context that is already dead commits nothing: bail before the
+	// write-ahead append, or an abandoned request would still pay two
+	// fsyncs (the batch plus its voiding record) under the writer lock.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.addMu.Lock()
 	defer c.addMu.Unlock()
@@ -685,14 +824,29 @@ func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
 		b.globals = append(b.globals, id)
 	}
 
+	// Write-ahead: the batch must be durable before any shard state it
+	// produces can be observed. A failed append commits nothing.
+	if c.wal != nil {
+		if _, err := c.wal.Append(wal.Record{Type: wal.TypeAdd, First: ids[0], Graphs: gs}); err != nil {
+			return nil, fmt.Errorf("graphdim: wal append: %w", err)
+		}
+	}
+
 	errs := make([]error, len(order))
 	ran := make([]bool, len(order))
 	_ = c.store.budget.ForContext(ctx, len(order), func(i int) {
 		ran[i] = true
+		if c.failShard != nil {
+			if err := c.failShard(order[i]); err != nil {
+				errs[i] = err
+				return
+			}
+		}
 		b := perShard[order[i]]
 		errs[i] = c.shards[order[i]].add(ctx, b.gs, b.globals)
 	})
 	applied := 0
+	var appliedIDs []int
 	var firstErr error
 	for i := range order {
 		err := errs[i]
@@ -703,23 +857,49 @@ func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
 		switch {
 		case err == nil && ran[i]:
 			applied++
+			appliedIDs = append(appliedIDs, perShard[order[i]].globals...)
 		case err != nil && firstErr == nil:
 			firstErr = err
 		}
 	}
 	if firstErr != nil {
-		if applied > 0 {
-			// Some shards already published their slice, so the batch's
-			// global ids are burned: advancing nextID keeps every
-			// published id unique forever, at the price of id gaps for the
-			// slices that never landed.
-			c.nextID.Add(int64(len(gs)))
-			return nil, fmt.Errorf("graphdim: add applied on %d of %d shards before failing: %w", applied, len(order), firstErr)
-		}
-		return nil, firstErr
+		return nil, c.failAdd(ids[0], len(gs), appliedIDs, firstErr)
 	}
 	c.nextID.Add(int64(len(gs)))
 	return ids, nil
+}
+
+// failAdd settles a failed Add batch: it amends the write-ahead log so
+// replay matches what actually committed, and burns the batch's ids
+// exactly when some of them are now visible (or when the log could not
+// be amended, so a replayed id can never collide with a later
+// assignment). Called under addMu.
+func (c *Collection) failAdd(first, total int, appliedIDs []int, cause error) error {
+	if len(appliedIDs) > 0 {
+		sort.Ints(appliedIDs)
+		// Some shards already published their slice, so the batch's
+		// global ids are burned: advancing nextID keeps every published
+		// id unique forever, at the price of id gaps for the slices that
+		// never landed.
+		c.nextID.Add(int64(total))
+		if c.wal != nil {
+			if _, werr := c.wal.Append(wal.Record{Type: wal.TypeApplied, First: first, Total: total, IDs: appliedIDs}); werr != nil {
+				cause = fmt.Errorf("%w (and amending the wal failed — a crash before the next checkpoint recovers the whole batch: %v)", cause, werr)
+			}
+		}
+		return &PartialAddError{Applied: appliedIDs, Total: total, Err: cause}
+	}
+	// Nothing landed. Void the logged batch so replay skips it and the
+	// ids stay reusable, matching the in-memory outcome.
+	if c.wal != nil {
+		if _, werr := c.wal.Append(wal.Record{Type: wal.TypeApplied, First: first, Total: total, IDs: nil}); werr != nil {
+			// The add record stands un-amended: burn its ids so a crash
+			// replaying the batch cannot collide with later assignments.
+			c.nextID.Add(int64(total))
+			return fmt.Errorf("graphdim: add failed (%w) and voiding its wal record failed (%v); batch ids burned", cause, werr)
+		}
+	}
+	return cause
 }
 
 type shardBatch struct {
@@ -759,6 +939,16 @@ func (c *Collection) Remove(ids ...int) error {
 				return fmt.Errorf("graphdim: id %d already removed", g)
 			}
 			seen[g] = true
+		}
+	}
+	// Write-ahead, after validation (a rejected batch must leave no
+	// record) and before any shard tombstones: post-validation the apply
+	// below cannot fail, so log record and committed state agree.
+	if c.wal != nil {
+		sorted := append([]int(nil), ids...)
+		sort.Ints(sorted)
+		if _, err := c.wal.Append(wal.Record{Type: wal.TypeRemove, IDs: sorted}); err != nil {
+			return fmt.Errorf("graphdim: wal append: %w", err)
 		}
 	}
 	for sh, globals := range perShard {
@@ -850,6 +1040,9 @@ type CollectionStats struct {
 	// Cache holds the query cache's counters, nil when the collection
 	// has no cache.
 	Cache *CacheStats
+	// WAL holds the write-ahead log's counters, nil when the store is
+	// not durable (or the WAL is disabled).
+	WAL *WALStats
 }
 
 // Stats returns a point-in-time snapshot of the collection's shards.
@@ -875,5 +1068,6 @@ func (c *Collection) Stats() CollectionStats {
 	if st, ok := c.CacheStats(); ok {
 		cs.Cache = &st
 	}
+	cs.WAL = c.walStats()
 	return cs
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Label is a vertex or edge label drawn from the alphabet Σ.
@@ -35,11 +36,17 @@ func (e Edge) normalize() Edge {
 
 // Graph is an undirected labeled simple graph. The zero value is an empty
 // graph ready to use. Vertices are dense integers 0..N-1.
+//
+// A fully built graph is safe for any number of concurrent readers —
+// graphdim snapshots and parallel shard saves share *Graph values
+// freely. Construction (AddVertex, AddEdge) is not synchronized; build
+// on one goroutine, then share.
 type Graph struct {
-	labels []Label  // labels[v] is the label of vertex v
-	edges  []Edge   // normalized (U<V), sorted lexicographically
-	adj    [][]Half // adj[v] lists incident half-edges
-	sorted bool     // edges slice is sorted
+	labels []Label    // labels[v] is the label of vertex v
+	edges  []Edge     // normalized (U<V), sorted lexicographically
+	adj    [][]Half   // adj[v] lists incident half-edges
+	sortMu sync.Mutex // guards the lazy sort in Edges
+	sorted bool       // edges slice is sorted; written under sortMu
 }
 
 // Half is one endpoint's view of an incident edge: the neighbour vertex
@@ -140,8 +147,12 @@ func (g *Graph) EdgeLabel(u, v int) (Label, bool) {
 }
 
 // Edges returns the normalized edge list sorted lexicographically by
-// (U, V, Label). The returned slice is owned by the graph.
+// (U, V, Label). The returned slice is owned by the graph. The sort is
+// lazy; the mutex makes the first call safe against concurrent readers
+// (e.g. two shards of a collection encoding their shared feature graphs
+// in parallel) — once sorted, the slice is never written again.
 func (g *Graph) Edges() []Edge {
+	g.sortMu.Lock()
 	if !g.sorted {
 		sort.Slice(g.edges, func(i, j int) bool {
 			a, b := g.edges[i], g.edges[j]
@@ -155,16 +166,19 @@ func (g *Graph) Edges() []Edge {
 		})
 		g.sorted = true
 	}
+	g.sortMu.Unlock()
 	return g.edges
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
+	// Copy via Edges() so a clone taken while another goroutine triggers
+	// the lazy sort cannot observe a half-sorted slice.
 	c := &Graph{
 		labels: append([]Label(nil), g.labels...),
-		edges:  append([]Edge(nil), g.edges...),
+		edges:  append([]Edge(nil), g.Edges()...),
 		adj:    make([][]Half, len(g.adj)),
-		sorted: g.sorted,
+		sorted: true,
 	}
 	for v, hs := range g.adj {
 		c.adj[v] = append([]Half(nil), hs...)
@@ -236,7 +250,7 @@ func (g *Graph) InducedSubgraph(vs []int) (*Graph, map[int]int) {
 	for _, v := range vs {
 		remap[v] = sub.AddVertex(g.labels[v])
 	}
-	for _, e := range g.edges {
+	for _, e := range g.Edges() {
 		nu, okU := remap[e.U]
 		nv, okV := remap[e.V]
 		if okU && okV {
@@ -254,7 +268,7 @@ func (g *Graph) LabelHistogram() (vertex map[Label]int, edge map[Label]int) {
 	for _, l := range g.labels {
 		vertex[l]++
 	}
-	for _, e := range g.edges {
+	for _, e := range g.Edges() {
 		edge[e.Label]++
 	}
 	return vertex, edge
@@ -270,8 +284,9 @@ func (g *Graph) Signature() string {
 	sort.Slice(vl, func(i, j int) bool { return vl[i] < vl[j] })
 	fmt.Fprintf(&sb, "V%v", vl)
 	type et struct{ a, b, l Label }
-	ets := make([]et, 0, len(g.edges))
-	for _, e := range g.edges {
+	edges := g.Edges()
+	ets := make([]et, 0, len(edges))
+	for _, e := range edges {
 		a, b := g.labels[e.U], g.labels[e.V]
 		if a > b {
 			a, b = b, a
