@@ -8,13 +8,16 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 # COVER_MIN gates `make cover`: the combined statement coverage of the
-# public API package, the posting accelerator, and the write-ahead log
-# under it.
+# public API package, the posting accelerator, the write-ahead log, the
+# metrics registry, and the HTTP layer (ingest + admission handlers).
 COVER_MIN ?= 80
+# LOAD_DURATION / LOAD_MAX_P99_MS parameterize `make loadtest`.
+LOAD_DURATION   ?= 5s
+LOAD_MAX_P99_MS ?= 250
 
-.PHONY: build test race vet bench cover
+.PHONY: build test race vet bench cover loadtest
 
 build:
 	$(GO) build ./...
@@ -26,10 +29,11 @@ test:
 
 # cover enforces the coverage floor on the packages this repository's
 # correctness story leans on hardest: the graphdim API (engines, cache,
-# store, persistence, durability) plus the posting-list accelerator and
-# the write-ahead log.
+# store, persistence, durability), the posting-list accelerator, the
+# write-ahead log, the metrics registry, and the gserve HTTP layer
+# (ingest streaming and admission control live there).
 cover:
-	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/wal
+	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/wal ./internal/metrics ./cmd/gserve
 	@$(GO) tool cover -func=cover.out | awk '$$1 == "total:" { \
 		sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_MIN)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_MIN); exit 1 } \
@@ -51,3 +55,11 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./... > $(BENCH_OUT).txt
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $(BENCH_OUT).txt
 	@rm -f $(BENCH_OUT).txt
+
+# loadtest runs the open-loop mixed workload (search/add/ingest) against
+# an in-process gserve for $(LOAD_DURATION) and fails on any request
+# error or an overall p99 above $(LOAD_MAX_P99_MS) milliseconds. Shed
+# 429s are admission control working and do not fail the run.
+loadtest:
+	GLOAD_DURATION=$(LOAD_DURATION) GLOAD_MAX_P99_MS=$(LOAD_MAX_P99_MS) \
+		$(GO) test -run '^TestLoadSmoke$$' -count=1 -v ./cmd/gserve

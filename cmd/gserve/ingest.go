@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/graphdim"
+)
+
+// Bulk ingest: POST /v1/collections/{name}/ingest streams graphs in as
+// NDJSON — one graph per line — and acknowledges them per batch. Each
+// batch becomes ONE Collection.Add call, hence one WAL record and one
+// group-committed fsync, so the ~fsync cost is amortized across the
+// whole batch instead of paid per graph (the add endpoint's price).
+// Response lines stream back as each batch commits, so a client knows
+// exactly which prefix is durable at any moment; a crash mid-stream
+// loses only the unacknowledged tail, and a partially applied batch is
+// settled with a compensating WAL record by the store (see
+// graphdim.PartialAddError) so recovery replays exactly the committed
+// subset.
+
+// maxIngestBytes caps one ingest request body. Bulk loads are the point
+// of the endpoint, so the cap is well above maxBodyBytes; larger loads
+// split across requests.
+const maxIngestBytes = 1 << 30
+
+const (
+	defaultIngestBatch = 256
+	maxIngestBatch     = 4096
+)
+
+// ingestGraph is one NDJSON input line: vertex labels by index, edges
+// as [u, v, label] triples.
+type ingestGraph struct {
+	Labels []int    `json:"labels"`
+	Edges  [][3]int `json:"edges"`
+}
+
+func (ig *ingestGraph) build() (*graphdim.Graph, error) {
+	if len(ig.Labels) == 0 {
+		return nil, fmt.Errorf("graph has no vertices")
+	}
+	g := graphdim.NewGraph(len(ig.Labels))
+	for _, l := range ig.Labels {
+		if l < 0 {
+			return nil, fmt.Errorf("negative vertex label %d", l)
+		}
+		g.AddVertex(graphdim.Label(l))
+	}
+	for _, e := range ig.Edges {
+		if e[2] < 0 {
+			return nil, fmt.Errorf("negative edge label %d", e[2])
+		}
+		if err := g.AddEdge(e[0], e[1], graphdim.Label(e[2])); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ingestAck is one response line: the ack for one committed batch, or —
+// with Error set — the in-band failure that ends the stream.
+type ingestAck struct {
+	Batch   int    `json:"batch"`
+	Applied int    `json:"applied"`
+	Total   int    `json:"total,omitempty"` // set when applied < attempted
+	FirstID int    `json:"first_id"`
+	LastID  int    `json:"last_id"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ingestSummary is the final response line.
+type ingestSummary struct {
+	Done       bool   `json:"done"`
+	Collection string `json:"collection"`
+	Batches    int    `json:"batches"`
+	Applied    int    `json:"applied"`
+	Size       int    `json:"size"`
+	Error      string `json:"error,omitempty"`
+}
+
+func parseIngestBatch(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("batch")
+	if v == "" {
+		return defaultIngestBatch, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("batch must be a positive integer, got %q", v)
+	}
+	if n > maxIngestBatch {
+		n = maxIngestBatch
+	}
+	return n, nil
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST NDJSON graphs: one {\"labels\":[...],\"edges\":[[u,v,label],...]} per line")
+		return
+	}
+	batchSize, err := parseIngestBatch(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	gate := s.lanes(c.Name()).write
+	if !s.admit(w, c.Name(), "write", gate) {
+		return
+	}
+	defer gate.Leave()
+
+	// The stream can legitimately outlast -timeout (it is bounded per
+	// batch below, not per request), so lift the connection deadlines the
+	// way the other long-running endpoints do.
+	clearConnDeadlines(w)
+	rc := http.NewResponseController(w)
+	// Acks stream back while the request body is still being read —
+	// without full duplex, net/http closes the unread body at the first
+	// response write and the stream dies after one batch.
+	if err := rc.EnableFullDuplex(); err != nil {
+		s.fail(w, http.StatusInternalServerError, "streaming unsupported on this connection: %v", err)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+
+	var (
+		started bool // first response byte written — status is committed
+		batches int
+		applied int
+	)
+	// fail before any output is a clean 400/503; after, the error goes
+	// in-band so the client still learns which batches are durable.
+	abort := func(status int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		if !started {
+			s.fail(w, status, "%s", msg)
+			return
+		}
+		s.errors.Add(1)
+		writeNDJSON(w, ingestSummary{Collection: c.Name(), Batches: batches, Applied: applied, Size: c.Size(), Error: msg})
+	}
+
+	for {
+		// Decode up to batchSize lines. Build errors and malformed JSON
+		// end the stream at a line boundary: everything acked before it
+		// stays committed, nothing after it is attempted.
+		batch := make([]*graphdim.Graph, 0, batchSize)
+		for len(batch) < batchSize {
+			var line ingestGraph
+			if err := dec.Decode(&line); err == io.EOF {
+				break
+			} else if err != nil {
+				abort(http.StatusBadRequest, "line %d: parsing NDJSON graph: %v", applied+len(batch)+1, err)
+				return
+			}
+			g, err := line.build()
+			if err != nil {
+				abort(http.StatusBadRequest, "line %d: %v", applied+len(batch)+1, err)
+				return
+			}
+			batch = append(batch, g)
+		}
+		if len(batch) == 0 {
+			break
+		}
+
+		// One Add per batch = one WAL record, one (group-committed)
+		// fsync; -timeout bounds each batch rather than the stream.
+		ctx, cancel := s.requestContext(r)
+		ids, err := c.Add(ctx, batch...)
+		cancel()
+		batches++
+		if err != nil {
+			var pe *graphdim.PartialAddError
+			if errors.As(err, &pe) {
+				// The store already settled the batch with a compensating
+				// WAL record: exactly pe.Applied is durable. Report it and
+				// stop — the client owns the retry decision.
+				applied += len(pe.Applied)
+				s.added.Add(int64(len(pe.Applied)))
+				ack := ingestAck{Batch: batches, Applied: len(pe.Applied), Total: pe.Total, Error: pe.Err.Error()}
+				if n := len(pe.Applied); n > 0 {
+					ack.FirstID, ack.LastID = pe.Applied[0], pe.Applied[n-1]
+				}
+				started = true
+				writeNDJSON(w, ack)
+				writeNDJSON(w, ingestSummary{Collection: c.Name(), Batches: batches, Applied: applied, Size: c.Size(), Error: "partial batch"})
+				s.errors.Add(1)
+				return
+			}
+			abort(http.StatusServiceUnavailable, "batch %d: %v", batches, err)
+			return
+		}
+		applied += len(ids)
+		s.added.Add(int64(len(ids)))
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		writeNDJSON(w, ingestAck{Batch: batches, Applied: len(ids), FirstID: ids[0], LastID: ids[len(ids)-1]})
+		// Flush so the ack reaches the client before the next batch is
+		// read — the ack stream is the durability signal.
+		_ = rc.Flush()
+	}
+
+	if !started {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	writeNDJSON(w, ingestSummary{Done: true, Collection: c.Name(), Batches: batches, Applied: applied, Size: c.Size()})
+}
+
+func writeNDJSON(w io.Writer, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/graphdim"
+	"repro/internal/dataset"
+	"repro/internal/loadgen"
+)
+
+// TestLoadSmoke drives the open-loop generator against an in-process
+// gserve with the default mixed workload. It is the `make loadtest`
+// entry point: GLOAD_DURATION stretches the run (CI uses 5s), and
+// GLOAD_MAX_P99_MS optionally turns the p99 into a hard guardrail. The
+// invariant checked unconditionally is error-rate zero — shed 429s are
+// fine, failed requests are not.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke is not a -short test")
+	}
+	dur := 1500 * time.Millisecond
+	if v := os.Getenv("GLOAD_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("GLOAD_DURATION %q: %v", v, err)
+		}
+		dur = d
+	}
+	const rate = 150.0
+	ts, _ := newTestServer(t, 4, 30*time.Second)
+
+	rep, err := loadgen.Run(t.Context(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Collection:  "default",
+		Rate:        rate,
+		Ops:         int(dur.Seconds() * rate),
+		Concurrency: 16,
+		Mix:         loadgen.DefaultMix,
+		K:           5,
+		IngestBatch: 32,
+		Seed:        7,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("loadgen.Run: %v", err)
+	}
+	t.Logf("ops=%d errors=%d rejected=%d p50=%.2fms p99=%.2fms p999=%.2fms achieved=%.1f/s",
+		rep.Ops, rep.Errors, rep.Rejected, rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.AchievedRate)
+	for kind, op := range rep.PerOp {
+		t.Logf("  %-7s count=%d errors=%d rejected=%d p50=%.2fms p99=%.2fms", kind, op.Count, op.Errors, op.Rejected, op.P50Ms, op.P99Ms)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d of %d requests errored under mixed load (first: %s)", rep.Errors, rep.Ops, rep.SampleError)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("load run completed zero operations")
+	}
+	if v := os.Getenv("GLOAD_MAX_P99_MS"); v != "" {
+		max, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("GLOAD_MAX_P99_MS %q: %v", v, err)
+		}
+		if rep.P99Ms > max {
+			t.Fatalf("overall p99 %.2fms exceeds GLOAD_MAX_P99_MS=%.2f", rep.P99Ms, max)
+		}
+	}
+}
+
+// BenchmarkServedMixedLoad reports end-to-end served latency under the
+// default open-loop mix: b.N operations at a fixed arrival rate against
+// an in-process server. The interesting output is the reported
+// p50/p99/p999 (milliseconds, scheduled-arrival based so queue delay
+// counts), not ns/op.
+func BenchmarkServedMixedLoad(b *testing.B) {
+	db := dataset.Chemical(dataset.ChemConfig{N: 25, MinVertices: 8, MaxVertices: 12, Seed: 7})
+	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 12, Tau: 0.2, MCSBudget: 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	idx, err = graphdim.ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := graphdim.NewStore(graphdim.StoreOptions{})
+	defer store.Close()
+	if _, err := store.CreateFromIndex("default", idx, graphdim.CollectionOptions{
+		Shards: 4,
+		Build:  graphdim.Options{Dimensions: 12, Tau: 0.2, MCSBudget: 1500},
+		Cache:  graphdim.CacheOptions{MaxEntries: 256},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, "default", 10, 30*time.Second))
+	defer ts.Close()
+
+	// Percentiles from a handful of samples are noise: drive at least 400
+	// operations (one second at the target rate) even when -benchtime asks
+	// for a single iteration, as the smoke pipeline does. ns/op then reads
+	// as "time per declared iteration" — the reported quantiles are the
+	// point of this benchmark.
+	ops := b.N
+	if ops < 400 {
+		ops = 400
+	}
+	b.ResetTimer()
+	rep, err := loadgen.Run(b.Context(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Collection:  "default",
+		Rate:        400,
+		Ops:         ops,
+		Concurrency: 32,
+		Mix:         loadgen.DefaultMix,
+		K:           5,
+		IngestBatch: 32,
+		Seed:        11,
+		Client:      ts.Client(),
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		b.Fatalf("%d errors under load (first: %s)", rep.Errors, rep.SampleError)
+	}
+	b.ReportMetric(rep.P50Ms, "p50_ms")
+	b.ReportMetric(rep.P99Ms, "p99_ms")
+	b.ReportMetric(rep.P999Ms, "p999_ms")
+	b.ReportMetric(rep.AchievedRate, "ops/s_achieved")
+}

@@ -38,6 +38,10 @@
 //	       k, engine (mapped | verified | exact), factor, maxcand
 //	POST   /v1/collections/{name}/add        map graphs into the collection;
 //	       a partially applied batch answers 207 with the committed ids
+//	POST   /v1/collections/{name}/ingest     bulk-load NDJSON graphs, one
+//	       {"labels":[...],"edges":[[u,v,label],...]} per line, applied in
+//	       ?batch=-sized groups (default 256) at one WAL fsync per group;
+//	       the response streams one ack line per committed batch
 //	GET    /v1/collections/{name}/stats      per-shard sizes, stale ratios,
 //	       compaction counters, shard generations, query-cache and WAL
 //	       counters
@@ -47,6 +51,19 @@
 //	       replayed WAL segments (-data stores only)
 //	GET    /healthz                          liveness probe
 //	GET    /stats                            process-wide counters
+//	GET    /metrics                          Prometheus text format:
+//	       per-endpoint latency quantiles and request counts, WAL fsync
+//	       timings, group-commit batch sizes, admission rejects, cache
+//	       hit ratio
+//
+// Admission control bounds the in-flight requests per collection in two
+// independent lanes — reads (search/topk) via -max-inflight-reads
+// (default 256) and writes (add/ingest) via -max-inflight-writes
+// (default 64; negative = unlimited). Requests beyond the lane width
+// are shed immediately with 429 and a Retry-After header, before the
+// body is read, so overload degrades into fast rejections rather than
+// queueing collapse. cmd/gload drives this surface with an open-loop
+// mixed workload and reports the latency distribution.
 //
 // Deprecated aliases from the unversioned API keep working against the
 // default collection and answer with a Deprecation header: POST /search,
@@ -79,11 +96,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/graphdim"
+	"repro/internal/pool"
 )
 
 func main() {
@@ -107,6 +126,8 @@ func main() {
 		rbBudget  = flag.Int64("rebuild-mcs-budget", 20000, "MCS budget for compaction rebuilds")
 		cacheEnt  = flag.Int("cache-entries", 4096, "query-result cache entries for the default collection (0 = no cache)")
 		cacheByte = flag.Int64("cache-bytes", 64<<20, "approximate query-result cache size in bytes for the default collection (0 = entries-only bound)")
+		maxReads  = flag.Int("max-inflight-reads", defaultMaxInflightReads, "per-collection bound on in-flight search requests; beyond it requests get 429 + Retry-After (negative = unlimited)")
+		maxWrites = flag.Int("max-inflight-writes", defaultMaxInflightWrites, "per-collection bound on in-flight add/ingest requests; beyond it requests get 429 + Retry-After (negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -117,8 +138,12 @@ func main() {
 		log.Fatalf("rebuild-algo must be dspm or dspmap, got %q", *rbAlgo)
 	}
 
+	// The metrics registry exists before the store: the WAL feeds its
+	// fsync telemetry through StoreOptions at open time.
+	m := newServerMetrics()
 	storeOpts := graphdim.StoreOptions{
 		Workers: *workers,
+		WAL:     graphdim.WALOptions{SyncObserver: m.walObserver()},
 		Compaction: graphdim.CompactionPolicy{
 			StaleThreshold: *threshold,
 			Interval:       *every,
@@ -197,7 +222,14 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s", ln.Addr())
-	s := newServer(store, *collName, *k, *timeout)
+	s := newServerCfg(store, serverConfig{
+		defaultColl: *collName,
+		defaultK:    *k,
+		timeout:     *timeout,
+		maxReads:    *maxReads,
+		maxWrites:   *maxWrites,
+		metrics:     m,
+	})
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -311,6 +343,14 @@ type server struct {
 	timeout     time.Duration
 	started     time.Time
 	mux         *http.ServeMux
+	metrics     *serverMetrics
+
+	// Admission control: per-collection read/write lanes sized by the
+	// -max-inflight-* flags. laneMap is collection name → *lanePair,
+	// created lazily so dynamically created collections get lanes too.
+	maxReads  int
+	maxWrites int
+	laneMap   sync.Map
 
 	requests  atomic.Int64 // search/topk requests answered successfully
 	queries   atomic.Int64 // individual query graphs answered
@@ -323,10 +363,73 @@ type server struct {
 	lastCheckpointMS atomic.Int64 // unix milliseconds of the last success, 0 = never
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP wraps every request with the latency/status instrumentation
+// behind /metrics, then dispatches.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sr := &statusRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(sr, r)
+	code := sr.status
+	if code == 0 {
+		code = http.StatusOK // handler wrote nothing: net/http answers 200
+	}
+	s.metrics.observeRequest(endpointLabel(r), code, time.Since(start))
+}
+
+// Default admission lane widths: reads (search fan-outs) get a deep
+// lane, writes (add/ingest, serialized per collection by the WAL commit
+// anyway) a shallower one that keeps memory for buffered batches
+// bounded.
+const (
+	defaultMaxInflightReads  = 256
+	defaultMaxInflightWrites = 64
+)
+
+// serverConfig carries the serving knobs; the zero value of any field
+// falls back to the legacy defaults, so tests can set only what they
+// exercise.
+type serverConfig struct {
+	defaultColl string
+	defaultK    int
+	timeout     time.Duration
+	// maxReads/maxWrites bound the in-flight requests per collection and
+	// lane; 0 means the defaults above, negative means unlimited.
+	maxReads  int
+	maxWrites int
+	// metrics is the pre-built registry (the WAL SyncObserver must exist
+	// before the store opens); nil builds a fresh one.
+	metrics *serverMetrics
+}
 
 func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout time.Duration) *server {
-	s := &server{store: store, defaultColl: defaultColl, defaultK: defaultK, timeout: timeout, started: time.Now()}
+	return newServerCfg(store, serverConfig{defaultColl: defaultColl, defaultK: defaultK, timeout: timeout})
+}
+
+func laneWidth(n, def int) int {
+	switch {
+	case n == 0:
+		return def
+	case n < 0:
+		return 0 // pool.NewGate: <= 0 is unlimited
+	}
+	return n
+}
+
+func newServerCfg(store *graphdim.Store, cfg serverConfig) *server {
+	if cfg.metrics == nil {
+		cfg.metrics = newServerMetrics()
+	}
+	s := &server{
+		store:       store,
+		defaultColl: cfg.defaultColl,
+		defaultK:    cfg.defaultK,
+		timeout:     cfg.timeout,
+		started:     time.Now(),
+		metrics:     cfg.metrics,
+		maxReads:    laneWidth(cfg.maxReads, defaultMaxInflightReads),
+		maxWrites:   laneWidth(cfg.maxWrites, defaultMaxInflightWrites),
+	}
+	s.registerStoreGauges()
 	mux := http.NewServeMux()
 	// Method checks live inside the handlers so that 405s (and the
 	// fallback 404) carry the same JSON error shape as every other
@@ -339,6 +442,7 @@ func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout 
 	mux.HandleFunc("/topk", s.deprecated(s.handleTopK))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
 	})
@@ -381,6 +485,47 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 		return r.Context(), func() {}
 	}
 	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// lanePair is one collection's admission lanes. Reads and writes are
+// separate so a scan storm saturating the read lane can never starve
+// the fsync-bound write path, and vice versa.
+type lanePair struct {
+	read  *pool.Gate
+	write *pool.Gate
+}
+
+// lanes returns (creating on first use) the admission lanes for a
+// collection name. Lanes are keyed by name, not *Collection, so a
+// dropped-and-recreated collection reuses its lane — the bound is about
+// server resources, not collection identity.
+func (s *server) lanes(coll string) *lanePair {
+	if v, ok := s.laneMap.Load(coll); ok {
+		return v.(*lanePair)
+	}
+	v, _ := s.laneMap.LoadOrStore(coll, &lanePair{
+		read:  pool.NewGate(s.maxReads),
+		write: pool.NewGate(s.maxWrites),
+	})
+	return v.(*lanePair)
+}
+
+// admit claims a slot in gate or sheds the request with 429 and a
+// Retry-After the client can parse. The caller must defer gate.Leave()
+// on a true return.
+func (s *server) admit(w http.ResponseWriter, coll, lane string, gate *pool.Gate) bool {
+	if gate.TryEnter() {
+		return true
+	}
+	s.metrics.rejectCounter(coll, lane).Inc()
+	// One second is the honest answer for a lane full of requests
+	// bounded by -timeout: precise queue math isn't available from a
+	// gate that keeps no queue.
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusTooManyRequests,
+		"collection %q %s lane full (%d in flight); retry after the Retry-After delay",
+		coll, lane, gate.Capacity())
+	return false
 }
 
 // collection resolves a collection name, answering a JSON 404 itself when
@@ -593,6 +738,8 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 		s.handleSearch(w, r, c)
 	case "add":
 		s.handleAdd(w, r, c)
+	case "ingest":
+		s.handleIngest(w, r, c)
 	case "stats":
 		if r.Method != http.MethodGet {
 			s.fail(w, http.StatusMethodNotAllowed, "GET reads collection stats")
@@ -604,7 +751,7 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 	case "checkpoint":
 		s.handleCheckpoint(w, r, c)
 	default:
-		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, stats, compact or checkpoint)", action)
+		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, ingest, stats, compact or checkpoint)", action)
 	}
 }
 
@@ -615,6 +762,11 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request, c *graphdi
 		s.fail(w, http.StatusMethodNotAllowed, "POST query graphs in the standard text format")
 		return
 	}
+	gate := s.lanes(c.Name()).read
+	if !s.admit(w, c.Name(), "read", gate) {
+		return
+	}
+	defer gate.Leave()
 	start := time.Now()
 	opt, err := s.parseSearchOptions(r, c)
 	if err != nil {
@@ -672,6 +824,11 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request, c *graphdim.C
 		s.fail(w, http.StatusMethodNotAllowed, "POST graphs in the standard text format")
 		return
 	}
+	gate := s.lanes(c.Name()).write
+	if !s.admit(w, c.Name(), "write", gate) {
+		return
+	}
+	defer gate.Leave()
 	gs, ok := s.readGraphs(w, r)
 	if !ok {
 		return
@@ -814,6 +971,11 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	gate := s.lanes(c.Name()).read
+	if !s.admit(w, c.Name(), "read", gate) {
+		return
+	}
+	defer gate.Leave()
 	start := time.Now()
 	k := s.defaultK
 	if v := r.URL.Query().Get("k"); v != "" {
@@ -887,6 +1049,8 @@ type cacheStatsJSON struct {
 type walStatsJSON struct {
 	Appends       int64  `json:"appends"`
 	Syncs         int64  `json:"syncs"`
+	SyncNanos     int64  `json:"sync_nanos"`
+	MaxBatch      int    `json:"max_batch"`
 	LastSeq       uint64 `json:"last_seq"`
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
 	Segments      int    `json:"segments"`
@@ -897,6 +1061,8 @@ func walStatsJSONOf(st *graphdim.WALStats) *walStatsJSON {
 	return &walStatsJSON{
 		Appends:       st.Appends,
 		Syncs:         st.Syncs,
+		SyncNanos:     st.SyncNanos,
+		MaxBatch:      st.MaxBatch,
 		LastSeq:       st.LastSeq,
 		CheckpointSeq: st.CheckpointSeq,
 		Segments:      st.Segments,

@@ -17,12 +17,22 @@
 // adds and removes are write-ahead logged (internal/wal) and fsynced
 // before they publish, Checkpoint persists a snapshot and truncates the
 // replayed log, and reopening replays the tail — a kill at any instant
-// recovers exactly the acknowledged writes. cmd/gserve exposes a store
-// over a versioned /v1 HTTP API (its -data flag is the durable
-// deployment path, with periodic, shutdown, and on-demand checkpoints)
-// with graceful shutdown; the other commands (gen, mine, dspm, gsearch,
-// figures, benchjson) cover the rest of the pipeline — see README.md
-// for a tour.
+// recovers exactly the acknowledged writes. Concurrent writers share
+// fsyncs through the log's group commit: the first appender to arrive
+// leads the group, so the durability tax divides across however many
+// writes are in flight. cmd/gserve exposes a store over a versioned /v1
+// HTTP API (its -data flag is the durable deployment path, with
+// periodic, shutdown, and on-demand checkpoints) with graceful
+// shutdown, streaming NDJSON bulk ingest (one group-committed fsync per
+// batch), per-collection read/write admission lanes that shed overload
+// with 429 + Retry-After instead of queueing (internal/pool.Gate), and
+// Prometheus-text observability on /metrics (internal/metrics: a
+// dependency-free log-linear histogram registry — per-endpoint
+// p50/p99/p999, WAL fsync timings, group-commit batch sizes, admission
+// rejects, cache hit ratio). cmd/gload drives that surface with an
+// open-loop mixed workload and reports the latency distribution; the
+// other commands (gen, mine, dspm, gsearch, figures, benchjson) cover
+// the rest of the pipeline — see README.md for a tour.
 //
 // The paper's algorithms and substrates are implemented under internal/
 // (see DESIGN.md for the full inventory and the concurrency model). The

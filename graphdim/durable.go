@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -74,18 +75,38 @@ type WALOptions struct {
 	// but a kill can lose the OS write-back window. For tests and
 	// benchmarks.
 	NoSync bool
+	// SyncObserver, when non-nil, is called after every completed log
+	// fsync with its duration and the number of records the group commit
+	// covered — the hook a server uses to feed latency histograms. It
+	// runs with the log locked and must be fast and non-blocking.
+	SyncObserver func(d time.Duration, records int)
+
+	// failSync injects fsync failures into every collection's log — a
+	// hook for crash-recovery property tests in this package, deliberately
+	// unexported so the serving surface cannot reach it.
+	failSync func() error
 }
 
 func (o WALOptions) options() wal.Options {
-	return wal.Options{SegmentBytes: o.SegmentBytes, NoSync: o.NoSync}
+	return wal.Options{
+		SegmentBytes: o.SegmentBytes,
+		NoSync:       o.NoSync,
+		SyncObserver: o.SyncObserver,
+		FailSync:     o.failSync,
+	}
 }
 
 // WALStats reports a collection's write-ahead log counters (see
 // CollectionStats.WAL).
 type WALStats struct {
 	// Appends counts committed log records since open; Syncs the fsyncs
-	// they issued.
+	// they issued. Group commit makes Appends/Syncs the achieved
+	// amortization factor.
 	Appends, Syncs int64
+	// SyncNanos is the cumulative time spent inside fsync; MaxBatch the
+	// largest record group one fsync has committed.
+	SyncNanos int64
+	MaxBatch  int
 	// LastSeq is the newest record's sequence number; CheckpointSeq is
 	// the highest sequence covered by a checkpoint. The gap between them
 	// is the tail a crash would replay.
@@ -350,6 +371,8 @@ func (c *Collection) walStats() *WALStats {
 	return &WALStats{
 		Appends:       st.Appends,
 		Syncs:         st.Syncs,
+		SyncNanos:     st.SyncNanos,
+		MaxBatch:      st.MaxBatch,
 		LastSeq:       st.LastSeq,
 		CheckpointSeq: st.CheckpointSeq,
 		Segments:      st.Segments,

@@ -1,0 +1,379 @@
+// Package loadgen drives a mixed search/add/ingest workload against a
+// running gserve and reports the latency distribution — the shared
+// engine behind cmd/gload and the in-process load smoke test.
+//
+// Arrivals are open-loop: operation start times are fixed on a clock at
+// the target rate before any response comes back, and each operation's
+// latency is measured from its *scheduled* start. A server that stalls
+// therefore accumulates queue delay in the reported percentiles instead
+// of silently slowing the generator down (the coordinated-omission trap
+// closed-loop harnesses fall into).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/graphdim"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// Mix is the workload composition in percent; the three fields should
+// sum to 100 (Run normalizes whatever they sum to).
+type Mix struct {
+	SearchPct int `json:"search_pct"`
+	AddPct    int `json:"add_pct"`
+	IngestPct int `json:"ingest_pct"`
+}
+
+// DefaultMix is a read-heavy serving mix with a steady write trickle.
+var DefaultMix = Mix{SearchPct: 80, AddPct: 15, IngestPct: 5}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Collection is the target collection name.
+	Collection string
+	// Rate is the open-loop arrival rate in operations/second.
+	Rate float64
+	// Ops is the total number of arrivals; the nominal run length is
+	// Ops/Rate seconds.
+	Ops int
+	// Concurrency is the number of dispatch workers — the bound on
+	// client-side outstanding requests. Zero means 32.
+	Concurrency int
+	// Mix is the workload composition; the zero value means DefaultMix.
+	Mix Mix
+	// K is the search result count; zero means 5.
+	K int
+	// IngestBatch is the number of graphs per ingest request (the
+	// server-side WAL batch is set to match); zero means 64.
+	IngestBatch int
+	// Seed makes the op sequence and payloads reproducible.
+	Seed int64
+	// Client is the HTTP client to use; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+// OpReport is the per-operation slice of a Report.
+type OpReport struct {
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected_429"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Report is the outcome of a run, JSON-ready for the bench trajectory.
+type Report struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	TargetRate      float64 `json:"target_rate_per_sec"`
+	AchievedRate    float64 `json:"achieved_rate_per_sec"`
+	Ops             int64   `json:"ops"`
+	Errors          int64   `json:"errors"`
+	Rejected        int64   `json:"rejected_429"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	P999Ms          float64 `json:"p999_ms"`
+	SampleError     string  `json:"sample_error,omitempty"`
+
+	PerOp map[string]*OpReport `json:"per_op"`
+}
+
+type opKind int
+
+const (
+	opSearch opKind = iota
+	opAdd
+	opIngest
+	nKinds
+)
+
+func (k opKind) String() string {
+	return [...]string{"search", "add", "ingest"}[k]
+}
+
+// arrival is one scheduled operation.
+type arrival struct {
+	at   time.Time
+	kind opKind
+	n    int // payload selector
+}
+
+type opStats struct {
+	hist     metrics.Histogram
+	count    atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+}
+
+// runner holds the immutable state the workers share.
+type runner struct {
+	cfg     Config
+	client  *http.Client
+	stats   [nKinds]opStats
+	overall metrics.Histogram
+
+	errOnce sync.Once
+	errMsg  atomic.Value // string
+
+	queries []string // rendered search bodies
+	adds    []string // rendered add bodies (single graph)
+	ingests []string // rendered NDJSON ingest bodies
+}
+
+// Run executes the configured workload and blocks until every arrival
+// completed or ctx was cancelled. The error is only for setup failures;
+// per-request failures land in the Report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" || cfg.Collection == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL and Collection are required")
+	}
+	if cfg.Rate <= 0 || cfg.Ops <= 0 {
+		return nil, fmt.Errorf("loadgen: Rate and Ops must be positive")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 32
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	if cfg.IngestBatch <= 0 {
+		cfg.IngestBatch = 64
+	}
+	r := &runner{cfg: cfg, client: cfg.Client}
+	if r.client == nil {
+		r.client = http.DefaultClient
+	}
+	if err := r.buildPayloads(); err != nil {
+		return nil, err
+	}
+
+	// Schedule every arrival up front — the open-loop clock.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := []int{cfg.Mix.SearchPct, cfg.Mix.AddPct, cfg.Mix.IngestPct}
+	totalW := weights[0] + weights[1] + weights[2]
+	if totalW <= 0 {
+		return nil, fmt.Errorf("loadgen: mix sums to zero")
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	arrivals := make(chan arrival, cfg.Ops)
+	start := time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		w := rng.Intn(totalW)
+		kind := opSearch
+		switch {
+		case w < weights[0]:
+			kind = opSearch
+		case w < weights[0]+weights[1]:
+			kind = opAdd
+		default:
+			kind = opIngest
+		}
+		arrivals <- arrival{at: start.Add(time.Duration(i) * interval), kind: kind, n: rng.Int()}
+	}
+	close(arrivals)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range arrivals {
+				if ctx.Err() != nil {
+					return
+				}
+				if d := time.Until(a.at); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				r.execute(ctx, a)
+			}
+		}()
+	}
+	wg.Wait()
+	return r.report(time.Since(start)), nil
+}
+
+// buildPayloads renders the request bodies once, from a synthetic
+// chemical dataset: searches and adds are single graphs, ingests are
+// NDJSON batches.
+func (r *runner) buildPayloads() error {
+	const variants = 16
+	db := dataset.Chemical(dataset.ChemConfig{
+		N: variants * 2, MinVertices: 8, MaxVertices: 14, Seed: r.cfg.Seed + 1,
+	})
+	render := func(gs []*graphdim.Graph) (string, error) {
+		var buf bytes.Buffer
+		if err := graphdim.WriteGraphs(&buf, gs); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+	for i := 0; i < variants; i++ {
+		q, err := render(db[i : i+1])
+		if err != nil {
+			return err
+		}
+		a, err := render(db[variants+i : variants+i+1])
+		if err != nil {
+			return err
+		}
+		r.queries = append(r.queries, q)
+		r.adds = append(r.adds, a)
+	}
+	// A handful of distinct ingest bodies so the WAL sees varied batches.
+	for i := 0; i < 4; i++ {
+		batch := dataset.Chemical(dataset.ChemConfig{
+			N: r.cfg.IngestBatch, MinVertices: 6, MaxVertices: 10, Seed: r.cfg.Seed + 100 + int64(i),
+		})
+		var buf bytes.Buffer
+		for _, g := range batch {
+			line := struct {
+				Labels []int    `json:"labels"`
+				Edges  [][3]int `json:"edges"`
+			}{Labels: make([]int, g.N())}
+			for v := 0; v < g.N(); v++ {
+				line.Labels[v] = int(g.VertexLabel(v))
+			}
+			for _, e := range g.Edges() {
+				line.Edges = append(line.Edges, [3]int{e.U, e.V, int(e.Label)})
+			}
+			b, err := json.Marshal(line)
+			if err != nil {
+				return err
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		r.ingests = append(r.ingests, buf.String())
+	}
+	return nil
+}
+
+func (r *runner) execute(ctx context.Context, a arrival) {
+	var url, body string
+	base := strings.TrimSuffix(r.cfg.BaseURL, "/") + "/v1/collections/" + r.cfg.Collection
+	switch a.kind {
+	case opSearch:
+		url = fmt.Sprintf("%s/search?k=%d", base, r.cfg.K)
+		body = r.queries[a.n%len(r.queries)]
+	case opAdd:
+		url = base + "/add"
+		body = r.adds[a.n%len(r.adds)]
+	case opIngest:
+		url = fmt.Sprintf("%s/ingest?batch=%d", base, r.cfg.IngestBatch)
+		body = r.ingests[a.n%len(r.ingests)]
+	}
+	st := &r.stats[a.kind]
+	st.count.Add(1)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		st.errors.Add(1)
+		r.sampleError(fmt.Sprintf("%s: %v", a.kind, err))
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.errors.Add(1)
+			r.sampleError(fmt.Sprintf("%s: %v", a.kind, err))
+		}
+		return
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// Latency from the scheduled arrival: queue delay counts.
+	lat := time.Since(a.at)
+
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.rejected.Add(1)
+		return // shed load is the server working as designed, not an error
+	case resp.StatusCode >= 300:
+		st.errors.Add(1)
+		r.sampleError(fmt.Sprintf("%s: status %d: %.200s", a.kind, resp.StatusCode, respBody))
+		return
+	case a.kind == opIngest:
+		// A 200 ingest can still end with an in-band error line.
+		if tail := lastLine(respBody); !strings.Contains(tail, `"done":true`) {
+			st.errors.Add(1)
+			r.sampleError(fmt.Sprintf("ingest: stream ended without done summary: %.200s", tail))
+			return
+		}
+	}
+	st.hist.Observe(int64(lat))
+	r.overall.Observe(int64(lat))
+}
+
+func lastLine(b []byte) string {
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	return lines[len(lines)-1]
+}
+
+func (r *runner) sampleError(msg string) {
+	r.errOnce.Do(func() { r.errMsg.Store(msg) })
+}
+
+const msPerNs = 1e-6
+
+func (r *runner) report(elapsed time.Duration) *Report {
+	rep := &Report{
+		DurationSeconds: elapsed.Seconds(),
+		TargetRate:      r.cfg.Rate,
+		P50Ms:           float64(r.overall.Quantile(0.5)) * msPerNs,
+		P99Ms:           float64(r.overall.Quantile(0.99)) * msPerNs,
+		P999Ms:          float64(r.overall.Quantile(0.999)) * msPerNs,
+		PerOp:           map[string]*OpReport{},
+	}
+	for k := opKind(0); k < nKinds; k++ {
+		st := &r.stats[k]
+		if st.count.Load() == 0 {
+			continue
+		}
+		op := &OpReport{
+			Count:    st.count.Load(),
+			Errors:   st.errors.Load(),
+			Rejected: st.rejected.Load(),
+			P50Ms:    float64(st.hist.Quantile(0.5)) * msPerNs,
+			P99Ms:    float64(st.hist.Quantile(0.99)) * msPerNs,
+			P999Ms:   float64(st.hist.Quantile(0.999)) * msPerNs,
+			MaxMs:    float64(st.hist.Quantile(1)) * msPerNs,
+		}
+		if n := st.hist.Count(); n > 0 {
+			op.MeanMs = float64(st.hist.Sum()) / float64(n) * msPerNs
+		}
+		rep.PerOp[k.String()] = op
+		rep.Ops += op.Count
+		rep.Errors += op.Errors
+		rep.Rejected += op.Rejected
+	}
+	if rep.DurationSeconds > 0 {
+		rep.AchievedRate = float64(rep.Ops) / rep.DurationSeconds
+	}
+	if msg, ok := r.errMsg.Load().(string); ok {
+		rep.SampleError = msg
+	}
+	return rep
+}

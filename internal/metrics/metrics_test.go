@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip checks the bucket mapping invariants across
+// magnitudes: indexes are monotone, dense, and bucketMax(bucketIndex(v))
+// is >= v but within the 1/32 relative-error bound.
+func TestBucketRoundTrip(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 5, 31, 32, 33, 63, 64, 100, 1023, 1024, 4096, 1 << 20, 1<<40 + 12345, 1<<62 + 99} {
+		idx := bucketIndex(v)
+		if idx <= prev && v > 0 {
+			// indexes must not go backwards as v grows
+			t.Fatalf("bucketIndex(%d) = %d, not above previous %d", v, idx, prev)
+		}
+		prev = idx
+		max := bucketMax(idx)
+		if max < v {
+			t.Fatalf("bucketMax(bucketIndex(%d)) = %d < value", v, max)
+		}
+		if v >= 1<<subBits && float64(max-v) > float64(v)/float64(1<<subBits) {
+			t.Fatalf("bucketMax(%d) = %d overshoots by more than 1/%d", v, max, 1<<subBits)
+		}
+	}
+	// Exhaustively: small values get exact buckets.
+	for v := int64(0); v < 1<<subBits; v++ {
+		if bucketMax(bucketIndex(v)) != v {
+			t.Fatalf("small value %d not exact", v)
+		}
+	}
+}
+
+// TestQuantileAccuracy fills a histogram from a known distribution and
+// checks the estimated quantiles against the exact ones within the
+// histogram's error bound.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{}
+	samples := make([]int64, 10000)
+	for i := range samples {
+		// log-uniform across ~5 decades, like real latencies
+		samples[i] = int64(1000 * (1 << rng.Intn(16)) * (rng.Intn(9) + 1) / 9)
+		h.Observe(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("Quantile(%g) = %d under-reports exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.05 {
+			t.Fatalf("Quantile(%g) = %d overshoots exact %d by more than 5%%", q, got, exact)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(samples))
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", h.Quantile(0.5))
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Quantile(1) != 0 || h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation not clamped: q=%d sum=%d count=%d", h.Quantile(1), h.Sum(), h.Count())
+	}
+	h.Observe(1 << 62)
+	if got := h.Quantile(1); got < 1<<62 {
+		t.Fatalf("Quantile(1) = %d, want >= 2^62", got)
+	}
+	// Out-of-range q clamps rather than panics.
+	if h.Quantile(-1) != 0 {
+		t.Fatalf("Quantile(-1) = %d, want 0 (clamped to min)", h.Quantile(-1))
+	}
+	_ = h.Quantile(2)
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines with
+// concurrent Quantile reads; run under -race this is the wait-freedom
+// check, and the final count must balance exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*1000 + i))
+				if i%1000 == 0 {
+					_ = h.Quantile(0.99)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), writers*per)
+	}
+}
+
+// TestRegistryRender is the golden test for the exposition format:
+// families sorted by name, series by labels, summaries expanded to
+// p50/p99/p999 + _sum + _count, scale applied.
+func TestRegistryRender(t *testing.T) {
+	reg := NewRegistry()
+	// Register out of order to prove rendering sorts.
+	reg.Gauge("z_ratio", "", "a ratio", func() float64 { return 0.25 })
+	c := reg.Counter("a_requests_total", `endpoint="search"`, "requests served")
+	c.Add(41)
+	c.Inc()
+	c.Add(-10) // ignored
+	h := &Histogram{}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	reg.Summary("m_latency_seconds", `endpoint="add"`, "latency", h, 1e-9)
+	reg.Counter("a_requests_total", `endpoint="add"`, "requests served").Inc()
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		`# HELP a_requests_total requests served`,
+		`# TYPE a_requests_total counter`,
+		`a_requests_total{endpoint="add"} 1`,
+		`a_requests_total{endpoint="search"} 42`,
+		`# HELP m_latency_seconds latency`,
+		`# TYPE m_latency_seconds summary`,
+		`m_latency_seconds{endpoint="add",quantile="0.5"} 5.0175e-05`,
+		`m_latency_seconds{endpoint="add",quantile="0.99"} 0.000100351`,
+		`m_latency_seconds{endpoint="add",quantile="0.999"} 0.000100351`,
+		`m_latency_seconds_sum{endpoint="add"} 0.005050000000000001`,
+		`m_latency_seconds_count{endpoint="add"} 100`,
+		`# HELP z_ratio a ratio`,
+		`# TYPE z_ratio gauge`,
+		`z_ratio 0.25`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryReuse checks that re-registering the same counter series
+// returns the same underlying counter, and that a name registered under
+// two types panics loudly instead of rendering garbage.
+func TestRegistryReuse(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "", "")
+	b := reg.Counter("x_total", "", "")
+	if a != b {
+		t.Fatalf("same series registered twice returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("aliased counter out of sync")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("conflicting type registration did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "", "", func() float64 { return 0 })
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// quantiles are the summary quantiles every histogram exposes — the
+// tail shape ISSUE 6 asks for (p50/p99/p999).
+var quantiles = []float64{0.5, 0.99, 0.999}
+
+type family struct {
+	name string
+	typ  string // "counter", "gauge", "summary"
+	help string
+}
+
+type series struct {
+	fam    int    // index into families
+	labels string // rendered `k="v",...` without braces, "" for none
+	kind   byte   // 'c' counter, 'g' gauge, 's' summary
+	c      *Counter
+	g      func() float64
+	h      *Histogram
+	scale  float64 // summary/gauge multiplier (e.g. 1e-9 for ns → s)
+}
+
+// Registry holds named metric series and renders them as Prometheus
+// text. Registration (typically at server start) takes a lock; the
+// registered counters and histograms themselves are lock-free on the
+// hot path. Rendering sorts series, so output order is deterministic —
+// golden-testable — regardless of registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []family
+	byName   map[string]int
+	series   []series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+func (r *Registry) familyLocked(name, typ, help string) int {
+	if i, ok := r.byName[name]; ok {
+		if r.families[i].typ != typ {
+			panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, r.families[i].typ, typ))
+		}
+		return i
+	}
+	r.families = append(r.families, family{name: name, typ: typ, help: help})
+	r.byName[name] = len(r.families) - 1
+	return len(r.families) - 1
+}
+
+// Counter registers (or returns the existing) counter series name{labels}.
+// labels is the rendered label list without braces, e.g.
+// `endpoint="search",code="200"`; empty means no labels.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.familyLocked(name, "counter", help)
+	for i := range r.series {
+		if s := &r.series[i]; s.fam == fam && s.labels == labels {
+			return s.c
+		}
+	}
+	c := &Counter{}
+	r.series = append(r.series, series{fam: fam, labels: labels, kind: 'c', c: c})
+	return c
+}
+
+// Gauge registers a gauge series whose value is read from fn at render
+// time — the natural fit for values another subsystem already tracks
+// (cache hit ratio, WAL max batch).
+func (r *Registry) Gauge(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.familyLocked(name, "gauge", help)
+	r.series = append(r.series, series{fam: fam, labels: labels, kind: 'g', g: fn})
+}
+
+// Summary registers h as a Prometheus summary: quantile series for
+// p50/p99/p999 plus _sum and _count. Rendered values (and the sum) are
+// multiplied by scale — pass 1e-9 for a histogram observed in
+// nanoseconds to expose seconds, or 1 for unitless sizes.
+func (r *Registry) Summary(name, labels, help string, h *Histogram, scale float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.familyLocked(name, "summary", help)
+	r.series = append(r.series, series{fam: fam, labels: labels, kind: 's', h: h, scale: scale})
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// withQuantile appends a quantile label to an existing label list.
+func withQuantile(labels string, q float64) string {
+	ql := `quantile="` + formatFloat(q) + `"`
+	if labels == "" {
+		return ql
+	}
+	return labels + "," + ql
+}
+
+// WriteText renders every registered series in Prometheus text format,
+// families sorted by name, series within a family sorted by labels.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	famOrder := make([]int, len(r.families))
+	for i := range famOrder {
+		famOrder[i] = i
+	}
+	sort.Slice(famOrder, func(a, b int) bool {
+		return r.families[famOrder[a]].name < r.families[famOrder[b]].name
+	})
+	byFam := make(map[int][]series)
+	for _, s := range r.series {
+		byFam[s.fam] = append(byFam[s.fam], s)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fi := range famOrder {
+		fam := r.families[fi]
+		ss := byFam[fi]
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labels < ss[b].labels })
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, s := range ss {
+			switch s.kind {
+			case 'c':
+				fmt.Fprintf(&b, "%s %d\n", seriesName(fam.name, s.labels), s.c.Value())
+			case 'g':
+				fmt.Fprintf(&b, "%s %s\n", seriesName(fam.name, s.labels), formatFloat(s.g()))
+			case 's':
+				for _, q := range quantiles {
+					v := float64(s.h.Quantile(q)) * s.scale
+					fmt.Fprintf(&b, "%s %s\n", seriesName(fam.name, withQuantile(s.labels, q)), formatFloat(v))
+				}
+				fmt.Fprintf(&b, "%s %s\n", seriesName(fam.name+"_sum", s.labels), formatFloat(float64(s.h.Sum())*s.scale))
+				fmt.Fprintf(&b, "%s %d\n", seriesName(fam.name+"_count", s.labels), s.h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP exposes the registry as a Prometheus scrape target.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteText(w)
+}

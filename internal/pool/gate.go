@@ -1,0 +1,60 @@
+package pool
+
+import "sync/atomic"
+
+// Gate is a bounded admission lane: at most n requests in flight, and a
+// request that finds the lane full is turned away immediately instead
+// of queueing. Where Budget bounds how many *workers* a running loop
+// may recruit (degrading to sequential under pressure), a Gate bounds
+// how many *requests* get to run at all — the knob a server uses to
+// return 429 under overload rather than letting a scan storm pile onto
+// the write path. Separate gates make separate lanes: a read gate can
+// saturate while the write gate still admits.
+type Gate struct {
+	sem     chan struct{}
+	rejects atomic.Int64
+}
+
+// NewGate returns a gate admitting at most n concurrent requests;
+// n <= 0 means unlimited (TryEnter always succeeds).
+func NewGate(n int) *Gate {
+	g := &Gate{}
+	if n > 0 {
+		g.sem = make(chan struct{}, n)
+	}
+	return g
+}
+
+// TryEnter claims a slot if one is free. It never blocks: false means
+// the lane is full right now and the caller should shed the request.
+// Every false return is counted in Rejects.
+func (g *Gate) TryEnter() bool {
+	if g.sem == nil {
+		return true
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+		g.rejects.Add(1)
+		return false
+	}
+}
+
+// Leave releases a slot claimed by a successful TryEnter. Calls must
+// pair one-to-one with true returns from TryEnter.
+func (g *Gate) Leave() {
+	if g.sem != nil {
+		<-g.sem
+	}
+}
+
+// InFlight returns the number of currently admitted requests
+// (always 0 for an unlimited gate).
+func (g *Gate) InFlight() int { return len(g.sem) }
+
+// Capacity returns the lane width; 0 means unlimited.
+func (g *Gate) Capacity() int { return cap(g.sem) }
+
+// Rejects returns the cumulative number of requests turned away.
+func (g *Gate) Rejects() int64 { return g.rejects.Load() }

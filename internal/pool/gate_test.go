@@ -1,0 +1,84 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGateBoundsInFlight(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryEnter() || !g.TryEnter() {
+		t.Fatalf("empty gate refused admission")
+	}
+	if g.TryEnter() {
+		t.Fatalf("full gate admitted a third request")
+	}
+	if g.InFlight() != 2 || g.Capacity() != 2 {
+		t.Fatalf("InFlight=%d Capacity=%d, want 2/2", g.InFlight(), g.Capacity())
+	}
+	if g.Rejects() != 1 {
+		t.Fatalf("Rejects = %d, want 1", g.Rejects())
+	}
+	g.Leave()
+	if !g.TryEnter() {
+		t.Fatalf("gate with a freed slot refused admission")
+	}
+	g.Leave()
+	g.Leave()
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after all leaves, want 0", g.InFlight())
+	}
+}
+
+func TestGateUnlimited(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		g := NewGate(n)
+		for i := 0; i < 100; i++ {
+			if !g.TryEnter() {
+				t.Fatalf("NewGate(%d) rejected request %d, want unlimited", n, i)
+			}
+		}
+		g.Leave() // must not panic or block
+		if g.Capacity() != 0 || g.Rejects() != 0 {
+			t.Fatalf("NewGate(%d): Capacity=%d Rejects=%d", n, g.Capacity(), g.Rejects())
+		}
+	}
+}
+
+// TestGateConcurrent races admits and leaves; under -race this checks
+// the counters, and the invariant that admitted never exceeds capacity.
+func TestGateConcurrent(t *testing.T) {
+	const cap, workers, per = 4, 16, 500
+	g := NewGate(cap)
+	var admitted, maxSeen int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if !g.TryEnter() {
+					continue
+				}
+				mu.Lock()
+				admitted++
+				if n := int64(g.InFlight()); n > maxSeen {
+					maxSeen = n
+				}
+				mu.Unlock()
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > cap {
+		t.Fatalf("observed %d in flight, capacity %d", maxSeen, cap)
+	}
+	if admitted+g.Rejects() != workers*per {
+		t.Fatalf("admitted %d + rejected %d != %d attempts", admitted, g.Rejects(), workers*per)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", g.InFlight())
+	}
+}

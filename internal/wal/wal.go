@@ -22,7 +22,12 @@
 //	crc32    IEEE checksum of the seq|type|len|payload bytes, LE
 //
 // Appends go to the last (active) segment; when it outgrows
-// Options.SegmentBytes the log rolls to a fresh segment. The framing is
+// Options.SegmentBytes the log rolls to a fresh segment. Concurrent
+// Append calls group-commit: the first caller in becomes the leader,
+// drains every record queued behind it, writes all their frames in one
+// write, and issues a single fsync that commits the whole group — so N
+// concurrent writers pay ~one fsync between them instead of N (see
+// Append). The framing is
 // torn-tail tolerant: a record cut mid-write by a crash fails its length
 // or checksum on the next Open, which truncates the segment back to the
 // last intact record — exactly the prefix whose fsyncs had completed.
@@ -49,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -117,13 +123,31 @@ type Options struct {
 	// kill only once the OS flushes on its own — meant for tests and
 	// benchmarks, not for serving.
 	NoSync bool
+	// SyncObserver, when non-nil, is called after every completed fsync
+	// with its duration and the number of records the group commit
+	// covered. It runs on a committing writer's goroutine with the log
+	// locked, so it must be fast, non-blocking, and must not call back
+	// into the Log.
+	SyncObserver func(d time.Duration, records int)
+	// FailSync injects an fsync failure (a test hook for crash-recovery
+	// property tests): when non-nil and returning a non-nil error after a
+	// sync, the commit is treated as failed — the group's frames are cut
+	// back off the file and every caller in it gets the error, exactly as
+	// if the fsync itself had failed. Must be safe for concurrent calls.
+	FailSync func() error
 }
 
 // Stats is a point-in-time snapshot of a log's counters.
 type Stats struct {
 	// Appends and Syncs count committed Append calls and the fsyncs they
-	// issued (equal unless NoSync).
+	// issued. Group commit makes Syncs <= Appends: concurrent appends
+	// coalesce into one fsync, and Appends/Syncs is the achieved
+	// amortization factor.
 	Appends, Syncs int64
+	// SyncNanos is the cumulative time spent inside fsync, nanoseconds.
+	SyncNanos int64
+	// MaxBatch is the largest number of records one fsync has committed.
+	MaxBatch int
 	// LastSeq is the newest record's sequence number (0 = empty log);
 	// CheckpointSeq is the highest sequence a Checkpoint has covered.
 	LastSeq, CheckpointSeq uint64
@@ -139,19 +163,37 @@ type segment struct {
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent
-// use; appends are serialized internally.
+// use; appends are serialized internally and group-commit (see Append).
 type Log struct {
 	dir string
 	opt Options
 
-	mu     sync.Mutex
-	segs   []segment // ascending by first; the last one is active
-	f      *os.File  // active segment, positioned at its valid end
-	seq    uint64    // last appended sequence number
-	ckpt   uint64    // highest checkpointed sequence number
-	app    int64
-	syncs  int64
-	closed bool
+	// qmu guards the group-commit queue. It is only ever held briefly —
+	// never across I/O — so enqueueing behind an in-flight fsync is
+	// cheap; mu (below) serializes the commits themselves.
+	qmu    sync.Mutex
+	queue  []*appendWaiter
+	leader bool
+
+	mu        sync.Mutex
+	segs      []segment // ascending by first; the last one is active
+	f         *os.File  // active segment, positioned at its valid end
+	seq       uint64    // last appended sequence number
+	ckpt      uint64    // highest checkpointed sequence number
+	app       int64
+	syncs     int64
+	syncNanos int64
+	maxBatch  int
+	closed    bool
+}
+
+// appendWaiter is one Append call queued for group commit: the leader
+// assigns seq (or err) and closes done.
+type appendWaiter struct {
+	rec  Record
+	seq  uint64
+	err  error
+	done chan struct{}
 }
 
 func segName(first uint64) string {
@@ -334,19 +376,79 @@ func (l *Log) roll() error {
 
 // Append frames rec, writes it to the active segment, and — unless the
 // log was opened with NoSync — fsyncs before returning, so a returned
-// sequence number is durable. On a write or sync error the partial frame
-// is cut back off the file (best-effort; a leftover torn frame is
-// equally harmless, the next Open truncates it) and nothing is
+// sequence number is durable. On a write or sync error the group's
+// frames are cut back off the file (best-effort; a leftover torn frame
+// is equally harmless, the next Open truncates it) and nothing is
 // committed.
+//
+// Concurrent Append calls group-commit: each caller queues its record,
+// the first caller in becomes the leader and commits everything queued —
+// its own record plus every record that arrived while the previous
+// fsync was in flight — under one write and one fsync. Every caller
+// still returns only once its own record is durable, so the per-record
+// guarantee is unchanged; only the fsync cost is shared. A record that
+// fails to encode fails alone (it consumes no sequence number); a write
+// or sync failure fails the whole group.
 func (l *Log) Append(rec Record) (uint64, error) {
+	w := &appendWaiter{rec: rec, done: make(chan struct{})}
+	l.qmu.Lock()
+	l.queue = append(l.queue, w)
+	if l.leader {
+		// A leader is already draining the queue; it (or its successor
+		// batches) will commit w too.
+		l.qmu.Unlock()
+		<-w.done
+		return w.seq, w.err
+	}
+	l.leader = true
+	for len(l.queue) > 0 {
+		batch := l.queue
+		l.queue = nil
+		l.qmu.Unlock()
+		l.commitGroup(batch)
+		l.qmu.Lock()
+	}
+	l.leader = false
+	l.qmu.Unlock()
+	// The leader's own record was in the first batch it committed.
+	<-w.done
+	return w.seq, w.err
+}
+
+// commitGroup writes and fsyncs one batch of queued records as a unit,
+// then releases every waiter with its sequence number or the group's
+// error.
+func (l *Log) commitGroup(batch []*appendWaiter) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, fmt.Errorf("wal: log is closed")
+		err := fmt.Errorf("wal: log is closed")
+		for _, w := range batch {
+			w.err = err
+			close(w.done)
+		}
+		return
 	}
-	frame, err := encodeFrame(l.seq+1, rec)
-	if err != nil {
-		return 0, err
+	// Frame every record. An encode failure is the caller's own bad
+	// record: it fails alone, consumes no sequence number, and the rest
+	// of the group commits.
+	var buf []byte
+	committed := batch[:0]
+	seq := l.seq
+	for _, w := range batch {
+		frame, err := encodeFrame(seq+1, w.rec)
+		if err != nil {
+			w.err = err
+			close(w.done)
+			continue
+		}
+		seq++
+		w.seq = seq
+		buf = append(buf, frame...)
+		committed = append(committed, w)
+	}
+	if len(committed) == 0 {
+		return
 	}
 	if l.segs[len(l.segs)-1].size >= l.opt.SegmentBytes {
 		// A failed roll is not a failed commit: the old segment is still
@@ -357,23 +459,45 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	active := &l.segs[len(l.segs)-1]
 	off := active.size
-	if _, err := l.f.Write(frame); err != nil {
+	fail := func(err error) {
 		l.f.Truncate(off)
 		l.f.Seek(off, io.SeekStart)
-		return 0, fmt.Errorf("wal: append: %w", err)
+		for _, w := range committed {
+			w.seq = 0
+			w.err = err
+			close(w.done)
+		}
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		fail(fmt.Errorf("wal: append: %w", err))
+		return
 	}
 	if !l.opt.NoSync {
-		if err := l.f.Sync(); err != nil {
-			l.f.Truncate(off)
-			l.f.Seek(off, io.SeekStart)
-			return 0, fmt.Errorf("wal: append: sync: %w", err)
+		start := time.Now()
+		err := l.f.Sync()
+		if err == nil && l.opt.FailSync != nil {
+			err = l.opt.FailSync()
 		}
+		if err != nil {
+			fail(fmt.Errorf("wal: append: sync: %w", err))
+			return
+		}
+		d := time.Since(start)
 		l.syncs++
+		l.syncNanos += int64(d)
+		if l.opt.SyncObserver != nil {
+			l.opt.SyncObserver(d, len(committed))
+		}
 	}
-	active.size = off + int64(len(frame))
-	l.seq++
-	l.app++
-	return l.seq, nil
+	active.size = off + int64(len(buf))
+	l.seq = seq
+	l.app += int64(len(committed))
+	if len(committed) > l.maxBatch {
+		l.maxBatch = len(committed)
+	}
+	for _, w := range committed {
+		close(w.done)
+	}
 }
 
 // LastSeq returns the newest committed record's sequence number (0 for
@@ -500,6 +624,8 @@ func (l *Log) Stats() Stats {
 	st := Stats{
 		Appends:       l.app,
 		Syncs:         l.syncs,
+		SyncNanos:     l.syncNanos,
+		MaxBatch:      l.maxBatch,
 		LastSeq:       l.seq,
 		CheckpointSeq: l.ckpt,
 		Segments:      len(l.segs),
