@@ -8,16 +8,20 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 # COVER_MIN gates `make cover`: the combined statement coverage of the
 # public API package, the posting accelerator, the write-ahead log, the
-# metrics registry, and the HTTP layer (ingest + admission handlers).
+# replication client, the metrics registry, and the HTTP layer (ingest +
+# admission + replication handlers).
 COVER_MIN ?= 80
-# LOAD_DURATION / LOAD_MAX_P99_MS parameterize `make loadtest`.
+# LOAD_DURATION / LOAD_MAX_P99_MS parameterize `make loadtest` and
+# `make loadtest-repl`; LOAD_MAX_LAG bounds how long the follower may
+# take to drain the write stream once the repl load run stops.
 LOAD_DURATION   ?= 5s
 LOAD_MAX_P99_MS ?= 250
+LOAD_MAX_LAG    ?= 10s
 
-.PHONY: build test race vet bench cover loadtest
+.PHONY: build test race vet bench cover loadtest loadtest-repl
 
 build:
 	$(GO) build ./...
@@ -33,7 +37,7 @@ test:
 # write-ahead log, the metrics registry, and the gserve HTTP layer
 # (ingest streaming and admission control live there).
 cover:
-	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/wal ./internal/metrics ./cmd/gserve
+	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/wal ./internal/repl ./internal/metrics ./cmd/gserve
 	@$(GO) tool cover -func=cover.out | awk '$$1 == "total:" { \
 		sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_MIN)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_MIN); exit 1 } \
@@ -42,7 +46,7 @@ cover:
 # The concurrency-heavy packages: shard fan-out, compaction swaps, the
 # worker budget, the write-ahead log, and the HTTP layer on top of them.
 race:
-	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pool/... ./internal/wal/...
+	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pool/... ./internal/wal/... ./internal/repl/...
 
 vet:
 	$(GO) vet ./...
@@ -63,3 +67,12 @@ bench:
 loadtest:
 	GLOAD_DURATION=$(LOAD_DURATION) GLOAD_MAX_P99_MS=$(LOAD_MAX_P99_MS) \
 		$(GO) test -run '^TestLoadSmoke$$' -count=1 -v ./cmd/gserve
+
+# loadtest-repl runs the same open-loop workload against an in-process
+# primary/follower pair: writes land on the primary, a follower_search
+# share reads from the replica. Fails on any request error, an overall
+# p99 above $(LOAD_MAX_P99_MS), or a follower that cannot drain the
+# write stream within $(LOAD_MAX_LAG) of the load stopping.
+loadtest-repl:
+	GLOAD_DURATION=$(LOAD_DURATION) GLOAD_MAX_P99_MS=$(LOAD_MAX_P99_MS) GLOAD_MAX_LAG=$(LOAD_MAX_LAG) \
+		$(GO) test -run '^TestLoadReplSmoke$$' -count=1 -v ./cmd/gserve

@@ -15,6 +15,13 @@
 //	gload -addr http://127.0.0.1:8080 -collection default \
 //	  -duration 30s -rate 200 -mix 80,15,5 | jq .
 //
+// With a replication follower running, a fourth mix component routes
+// that share of searches to the follower:
+//
+//	gserve -data /tmp/f -follow http://127.0.0.1:8080 -addr :8081 &
+//	gload -addr http://127.0.0.1:8080 -follower http://127.0.0.1:8081 \
+//	  -collection default -mix 40,15,5,40 | jq .
+//
 // Exit status is non-zero when any request errored (shed 429s do not
 // count) or when -max-p99 is set and overall p99 exceeded it — so CI
 // can gate on a latency guardrail.
@@ -38,21 +45,23 @@ import (
 
 func parseMix(s string) (loadgen.Mix, error) {
 	parts := strings.Split(s, ",")
-	if len(parts) != 3 {
-		return loadgen.Mix{}, fmt.Errorf("mix must be three comma-separated percentages (search,add,ingest), got %q", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		return loadgen.Mix{}, fmt.Errorf("mix must be three or four comma-separated percentages (search,add,ingest[,follower_search]), got %q", s)
 	}
-	var pct [3]int
+	var pct [4]int
+	total := 0
 	for i, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n < 0 {
 			return loadgen.Mix{}, fmt.Errorf("mix component %q must be a non-negative integer", p)
 		}
 		pct[i] = n
+		total += n
 	}
-	if pct[0]+pct[1]+pct[2] == 0 {
+	if total == 0 {
 		return loadgen.Mix{}, fmt.Errorf("mix %q sums to zero", s)
 	}
-	return loadgen.Mix{SearchPct: pct[0], AddPct: pct[1], IngestPct: pct[2]}, nil
+	return loadgen.Mix{SearchPct: pct[0], AddPct: pct[1], IngestPct: pct[2], FollowerSearchPct: pct[3]}, nil
 }
 
 func main() {
@@ -63,7 +72,8 @@ func main() {
 		coll     = flag.String("collection", "default", "target collection")
 		duration = flag.Duration("duration", 10*time.Second, "nominal run length (ops = duration * rate)")
 		rate     = flag.Float64("rate", 100, "open-loop arrival rate, operations/second")
-		mixFlag  = flag.String("mix", "80,15,5", "workload mix as search,add,ingest percentages")
+		mixFlag  = flag.String("mix", "80,15,5", "workload mix as search,add,ingest[,follower_search] percentages")
+		follower = flag.String("follower", "", "follower gserve base URL for the follower_search mix component (falls back to -addr when empty)")
 		conc     = flag.Int("concurrency", 32, "max outstanding requests")
 		k        = flag.Int("k", 5, "results per search")
 		batch    = flag.Int("ingest-batch", 64, "graphs per ingest request")
@@ -92,6 +102,7 @@ func main() {
 		Mix:         mix,
 		K:           *k,
 		IngestBatch: *batch,
+		FollowerURL: *follower,
 		Seed:        *seed,
 	})
 	if err != nil {

@@ -103,6 +103,9 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, c *graphdi
 		s.fail(w, http.StatusMethodNotAllowed, "POST NDJSON graphs: one {\"labels\":[...],\"edges\":[[u,v,label],...]} per line")
 		return
 	}
+	if s.redirectToPrimary(w, r) {
+		return
+	}
 	batchSize, err := parseIngestBatch(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)

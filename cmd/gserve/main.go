@@ -128,9 +128,19 @@ func main() {
 		cacheByte = flag.Int64("cache-bytes", 64<<20, "approximate query-result cache size in bytes for the default collection (0 = entries-only bound)")
 		maxReads  = flag.Int("max-inflight-reads", defaultMaxInflightReads, "per-collection bound on in-flight search requests; beyond it requests get 429 + Retry-After (negative = unlimited)")
 		maxWrites = flag.Int("max-inflight-writes", defaultMaxInflightWrites, "per-collection bound on in-flight add/ingest requests; beyond it requests get 429 + Retry-After (negative = unlimited)")
+		follow    = flag.String("follow", "", "run as a read-only replication follower of this primary gserve base URL: bootstrap from its snapshot, tail its WAL, answer writes with 307 (requires -data)")
+		replHB    = flag.Duration("repl-heartbeat", defaultReplHeartbeat, "heartbeat interval on replication WAL tail streams")
 	)
 	flag.Parse()
 
+	if *follow != "" {
+		if *data == "" {
+			log.Fatal("-follow requires -data: a follower mirrors the primary's log durably")
+		}
+		if *index != "" {
+			log.Fatal("-follow and -index are mutually exclusive: a follower seeds from the primary's snapshot")
+		}
+	}
 	if *data == "" && *index == "" {
 		log.Fatal("need -data (durable store directory) and/or -index (seed index file)")
 	}
@@ -158,6 +168,18 @@ func main() {
 	}
 	var store *graphdim.Store
 	var err error
+	if *follow != "" {
+		// First start of a follower: pull the primary's checkpoint image.
+		// A directory that already holds a store resumes from its own
+		// image plus mirrored log instead.
+		booted, err := bootstrapFromPrimary(nil, *follow, *data)
+		if err != nil {
+			log.Fatalf("bootstrap from %s: %v", *follow, err)
+		}
+		if booted {
+			log.Printf("bootstrapped %s from %s", *data, *follow)
+		}
+	}
 	if *data != "" {
 		// The production path: open (or initialize) the durable store.
 		// OpenStore replays each collection's WAL tail, so writes the
@@ -222,18 +244,36 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s", ln.Addr())
+	followerID := ""
+	if *follow != "" {
+		if followerID, err = loadFollowerID(*data); err != nil {
+			log.Fatal(err)
+		}
+	}
 	s := newServerCfg(store, serverConfig{
-		defaultColl: *collName,
-		defaultK:    *k,
-		timeout:     *timeout,
-		maxReads:    *maxReads,
-		maxWrites:   *maxWrites,
-		metrics:     m,
+		defaultColl:   *collName,
+		defaultK:      *k,
+		timeout:       *timeout,
+		maxReads:      *maxReads,
+		maxWrites:     *maxWrites,
+		metrics:       m,
+		follow:        *follow,
+		followerID:    followerID,
+		replHeartbeat: *replHB,
 	})
+	if s.follower != nil {
+		if err := s.startFollower(ctx); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("following %s as %q", *follow, followerID)
+	}
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Long-lived replication tail streams end when Shutdown begins, so
+	// the grace period drains ordinary requests, not followers.
+	srv.RegisterOnShutdown(s.beginShutdown)
 	if *timeout > 0 {
 		// The per-request context only bounds the search once the body is
 		// parsed; these bound the I/O around it, so a slow-body client
@@ -246,6 +286,11 @@ func main() {
 	}
 	if err := serve(ctx, srv, ln, *grace); err != nil {
 		log.Fatal(err)
+	}
+	if s.follower != nil {
+		// The signal context is done; join the tailers before the
+		// deferred store.Close can pull the log out from under one.
+		s.follower.wait()
 	}
 	// Graceful shutdown checkpoints so the next start replays nothing;
 	// skipping it (a kill) costs replay time, never data. A clean store
@@ -313,6 +358,13 @@ func (s *server) runCheckpoint() error {
 	return nil
 }
 
+// beginShutdown releases the long-lived replication streams (they wait
+// on s.closing) so graceful shutdown does not spend the whole grace
+// period on them. Wired via srv.RegisterOnShutdown.
+func (s *server) beginShutdown() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
 // serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
 // then drains in-flight requests for up to grace. Split from main so the
 // shutdown path is testable.
@@ -344,6 +396,18 @@ type server struct {
 	started     time.Time
 	mux         *http.ServeMux
 	metrics     *serverMetrics
+
+	// Replication: heartbeat pacing for WAL tail streams, the follower
+	// runtime (nil on a primary), per-follower ack bookkeeping
+	// ("coll\x00follower" → *followerAck), the count of open tail
+	// streams, and a channel closed at shutdown so long-lived streams
+	// drain instead of pinning the grace period.
+	replHeartbeat time.Duration
+	follower      *followerRuntime
+	replAcks      sync.Map
+	replStreams   atomic.Int64
+	closing       chan struct{}
+	closeOnce     sync.Once
 
 	// Admission control: per-collection read/write lanes sized by the
 	// -max-inflight-* flags. laneMap is collection name → *lanePair,
@@ -399,6 +463,14 @@ type serverConfig struct {
 	// metrics is the pre-built registry (the WAL SyncObserver must exist
 	// before the store opens); nil builds a fresh one.
 	metrics *serverMetrics
+	// follow, when set, runs the server as a replication follower of
+	// that primary base URL: reads serve locally, writes answer 307.
+	// followerID is its stable identity (retention holds key on it).
+	follow     string
+	followerID string
+	// replHeartbeat paces heartbeats on idle WAL tail streams; 0 means
+	// defaultReplHeartbeat.
+	replHeartbeat time.Duration
 }
 
 func newServer(store *graphdim.Store, defaultColl string, defaultK int, timeout time.Duration) *server {
@@ -419,17 +491,26 @@ func newServerCfg(store *graphdim.Store, cfg serverConfig) *server {
 	if cfg.metrics == nil {
 		cfg.metrics = newServerMetrics()
 	}
+	if cfg.replHeartbeat <= 0 {
+		cfg.replHeartbeat = defaultReplHeartbeat
+	}
 	s := &server{
-		store:       store,
-		defaultColl: cfg.defaultColl,
-		defaultK:    cfg.defaultK,
-		timeout:     cfg.timeout,
-		started:     time.Now(),
-		metrics:     cfg.metrics,
-		maxReads:    laneWidth(cfg.maxReads, defaultMaxInflightReads),
-		maxWrites:   laneWidth(cfg.maxWrites, defaultMaxInflightWrites),
+		store:         store,
+		defaultColl:   cfg.defaultColl,
+		defaultK:      cfg.defaultK,
+		timeout:       cfg.timeout,
+		started:       time.Now(),
+		metrics:       cfg.metrics,
+		maxReads:      laneWidth(cfg.maxReads, defaultMaxInflightReads),
+		maxWrites:     laneWidth(cfg.maxWrites, defaultMaxInflightWrites),
+		replHeartbeat: cfg.replHeartbeat,
+		closing:       make(chan struct{}),
+	}
+	if cfg.follow != "" {
+		s.follower = newFollowerRuntime(cfg.follow, cfg.followerID)
 	}
 	s.registerStoreGauges()
+	s.registerReplicationGauges()
 	mux := http.NewServeMux()
 	// Method checks live inside the handlers so that 405s (and the
 	// fallback 404) carry the same JSON error shape as every other
@@ -437,6 +518,9 @@ func newServerCfg(store *graphdim.Store, cfg serverConfig) *server {
 	mux.HandleFunc("/v1/collections", s.handleCollections)
 	mux.HandleFunc("/v1/collections/{name}", s.handleCollection)
 	mux.HandleFunc("/v1/collections/{name}/{action}", s.handleCollectionAction)
+	mux.HandleFunc("/v1/replication/snapshot", s.handleReplicationSnapshot)
+	mux.HandleFunc("/v1/replication/{name}/wal", s.handleReplicationWAL)
+	mux.HandleFunc("/v1/replication/{name}/ack", s.handleReplicationAck)
 	mux.HandleFunc("/search", s.deprecated(s.handleLegacySearch))
 	mux.HandleFunc("/add", s.deprecated(s.handleLegacyAdd))
 	mux.HandleFunc("/topk", s.deprecated(s.handleTopK))
@@ -639,6 +723,9 @@ func (s *server) handleCollections(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
 	case http.MethodPost:
+		if s.redirectToPrimary(w, r) {
+			return
+		}
 		s.handleCreateCollection(w, r)
 	default:
 		s.fail(w, http.StatusMethodNotAllowed, "GET lists collections, POST creates one")
@@ -715,9 +802,12 @@ func (s *server) handleCollection(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		if c, ok := s.collection(w, name); ok {
-			writeJSON(w, http.StatusOK, collectionStatsJSON(c))
+			writeJSON(w, http.StatusOK, s.collectionStats(c))
 		}
 	case http.MethodDelete:
+		if s.redirectToPrimary(w, r) {
+			return
+		}
 		if err := s.store.Drop(name); err != nil {
 			s.fail(w, http.StatusNotFound, "%v", err)
 			return
@@ -745,7 +835,7 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 			s.fail(w, http.StatusMethodNotAllowed, "GET reads collection stats")
 			return
 		}
-		writeJSON(w, http.StatusOK, collectionStatsJSON(c))
+		writeJSON(w, http.StatusOK, s.collectionStats(c))
 	case "compact":
 		s.handleCompact(w, r, c)
 	case "checkpoint":
@@ -760,6 +850,9 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST query graphs in the standard text format")
+		return
+	}
+	if !s.checkFreshness(w, r, c) {
 		return
 	}
 	gate := s.lanes(c.Name()).read
@@ -806,6 +899,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request, c *graphdi
 	s.requests.Add(1)
 	s.queries.Add(int64(len(queries)))
 	s.latencyUS.Add(elapsed.Microseconds())
+	w.Header().Set(freshnessHeader, freshnessToken(c))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -822,6 +916,9 @@ type addResponse struct {
 func (s *server) handleAdd(w http.ResponseWriter, r *http.Request, c *graphdim.Collection) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST graphs in the standard text format")
+		return
+	}
+	if s.redirectToPrimary(w, r) {
 		return
 	}
 	gate := s.lanes(c.Name()).write
@@ -1015,6 +1112,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	s.queries.Add(int64(len(queries)))
 	s.latencyUS.Add(elapsed.Microseconds())
+	w.Header().Set(freshnessHeader, freshnessToken(c))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -1028,11 +1126,37 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			graphs += c.Size()
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":      "ok",
 		"graphs":      graphs,
 		"collections": len(names),
-	})
+		"role":        "primary",
+	}
+	if f := s.follower; f != nil {
+		out["role"] = "follower"
+		out["primary"] = f.primaryURL
+		lag := map[string]any{}
+		for _, name := range names {
+			if st, ok := f.tailerStatus(name); ok {
+				entry := map[string]any{
+					"connected":   st.Connected,
+					"lag_records": lagRecords(st),
+				}
+				if !st.LastProgress.IsZero() {
+					entry["lag_seconds"] = time.Since(st.LastProgress).Seconds()
+				}
+				lag[name] = entry
+			}
+		}
+		out["replication"] = lag
+		if f.bootstrapNeeded() {
+			// Still serving (possibly stale) reads, but permanently behind:
+			// surface it where probes look first.
+			out["status"] = "degraded"
+			out["needs_bootstrap"] = true
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // cacheStatsJSON mirrors graphdim.CacheStats with stable JSON names.
@@ -1094,6 +1218,11 @@ type collectionStatsResponse struct {
 	// WAL reports the write-ahead log, omitted when the store runs
 	// without one (no -data directory).
 	WAL *walStatsJSON `json:"wal,omitempty"`
+	// Replication reports the collection's replication role and
+	// progress; omitted on a volatile store (nothing to ship). Populated
+	// by server.collectionStats, not collectionStatsJSON — the role is
+	// server state, not collection state.
+	Replication *replicationStatsJSON `json:"replication,omitempty"`
 }
 
 func collectionStatsJSON(c *graphdim.Collection) collectionStatsResponse {
@@ -1130,11 +1259,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	colls := map[string]collectionStatsResponse{}
 	for _, name := range s.store.Collections() {
 		if c, ok := s.store.Collection(name); ok {
-			colls[name] = collectionStatsJSON(c)
+			colls[name] = s.collectionStats(c)
 		}
+	}
+	role := "primary"
+	if s.follower != nil {
+		role = "follower"
 	}
 	stats := map[string]any{
 		"collections":      colls,
+		"role":             role,
 		"uptime_seconds":   time.Since(s.started).Seconds(),
 		"search_requests":  requests,
 		"queries_answered": s.queries.Load(),
@@ -1143,6 +1277,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if requests > 0 {
 		stats["mean_latency_ms"] = float64(s.latencyUS.Load()) / float64(requests) / 1e3
+	}
+	if f := s.follower; f != nil {
+		stats["primary"] = f.primaryURL
+		if f.bootstrapNeeded() {
+			stats["needs_bootstrap"] = true
+		}
 	}
 	if dir := s.store.Dir(); dir != "" {
 		stats["data_dir"] = dir

@@ -21,7 +21,7 @@ import (
 
 // buildTestIndex builds a small index and round-trips it through the
 // persistence layer, exercising the same load path main uses.
-func buildTestIndex(t *testing.T) *graphdim.Index {
+func buildTestIndex(t testing.TB) *graphdim.Index {
 	t.Helper()
 	db := dataset.Chemical(dataset.ChemConfig{N: 25, MinVertices: 8, MaxVertices: 12, Seed: 7})
 	idx, err := graphdim.Build(db, graphdim.Options{Dimensions: 12, Tau: 0.2, MCSBudget: 1500})

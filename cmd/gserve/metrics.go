@@ -151,6 +151,9 @@ func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWrite
 // explode the series space. Parsed from the raw path: the label is
 // computed outside the mux, before path values exist.
 func endpointLabel(r *http.Request) string {
+	if strings.HasPrefix(r.URL.Path, "/v1/replication") {
+		return "replication"
+	}
 	if rest, ok := strings.CutPrefix(r.URL.Path, "/v1/collections"); ok {
 		switch parts := strings.Split(strings.Trim(rest, "/"), "/"); len(parts) {
 		case 1:

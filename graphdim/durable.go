@@ -114,6 +114,11 @@ type WALStats struct {
 	// Segments and Bytes describe the log's on-disk footprint.
 	Segments int
 	Bytes    int64
+	// Retained counts registered follower retention holds; RetainSeq is
+	// the lowest acknowledged sequence among them (0 with none) — the
+	// position checkpoint truncation is clamped to.
+	Retained  int
+	RetainSeq uint64
 }
 
 // PartialAddError reports a Collection.Add that landed on some shards
@@ -217,7 +222,15 @@ func (s *Store) attachWAL(c *Collection) error {
 	if s.dir == "" || s.walOpt.Disabled {
 		return nil
 	}
-	l, err := wal.Open(filepath.Join(s.dir, c.name, walDirName), s.walOpt.options())
+	o := s.walOpt.options()
+	// A fresh log continues the checkpoint's numbering rather than
+	// restarting at 1: a follower bootstrapped from a primary snapshot
+	// has a manifest position deep in the primary's sequence space and
+	// an empty local log, and the records it mirrors must land at their
+	// primary-assigned sequences. No-op when segments already exist, and
+	// for ordinary primaries walBase is 0 on the paths that create logs.
+	o.FirstSeq = c.walBase + 1
+	l, err := wal.Open(filepath.Join(s.dir, c.name, walDirName), o)
 	if err != nil {
 		return fmt.Errorf("graphdim: collection %q: %w", c.name, err)
 	}
@@ -277,8 +290,12 @@ func (c *Collection) replayWAL(seq uint64) error {
 			add := pending
 			pending = nil
 			if len(rec.IDs) == 0 {
-				// The batch never landed anywhere and its ids were not
-				// burned: skip it entirely.
+				// The batch never landed anywhere: skip its graphs, but
+				// still burn its ids — logged ids are never reassigned
+				// (see failAdd), and replay must reproduce that.
+				if next := int64(add.First + len(add.Graphs)); next > c.nextID.Load() {
+					c.nextID.Store(next)
+				}
 				return nil
 			}
 			return c.replayAdd(ctx, add.First, add.Graphs, rec.IDs)
@@ -294,7 +311,14 @@ func (c *Collection) replayWAL(seq uint64) error {
 	if err != nil {
 		return err
 	}
-	return flush()
+	if err := flush(); err != nil {
+		return err
+	}
+	// Everything in the log is now reflected in shard state (a trailing
+	// unamended add replays in full, matching crash semantics), so the
+	// settled watermark is the log tail.
+	c.applied.Store(c.wal.LastSeq())
+	return nil
 }
 
 // replayAdd re-applies one logged add batch: all of it, or — after a
@@ -377,5 +401,7 @@ func (c *Collection) walStats() *WALStats {
 		CheckpointSeq: st.CheckpointSeq,
 		Segments:      st.Segments,
 		Bytes:         st.Bytes,
+		Retained:      st.Retained,
+		RetainSeq:     st.RetainSeq,
 	}
 }

@@ -382,22 +382,25 @@ func TestTotalAddFailureIsVoidedInLog(t *testing.T) {
 	if errors.As(err, &pe) {
 		t.Fatalf("total failure reported as partial: %v", err)
 	}
-	// Nothing landed, so the ids are not burned...
-	if got := int(c.nextID.Load()); got != first {
-		t.Fatalf("nextID %d after voided add, want %d", got, first)
+	// Nothing landed, but the batch is in the log, and logged ids are
+	// never reassigned (the invariant replication reconciliation leans
+	// on): the ids burn...
+	if got := int(c.nextID.Load()); got != first+len(batch) {
+		t.Fatalf("nextID %d after voided add, want %d", got, first+len(batch))
 	}
-	// ...and the next add reuses them.
+	// ...and the retry gets fresh ones.
 	c.failShard = nil
 	ids, err := c.Add(ctx, batch...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ids[0] != first {
-		t.Fatalf("retry got id %d, want %d", ids[0], first)
+	if ids[0] != first+len(batch) {
+		t.Fatalf("retry got id %d, want %d", ids[0], first+len(batch))
 	}
 
 	// Crash and recover: only the retry's graphs exist, under the same
-	// ids — replay must skip the voided record without id collisions.
+	// ids — replay must skip the voided record's graphs while still
+	// burning its ids.
 	s.Close()
 	re, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
@@ -406,8 +409,8 @@ func TestTotalAddFailureIsVoidedInLog(t *testing.T) {
 	defer re.Close()
 	rc, _ := re.Collection("v")
 	st := rc.Stats()
-	if st.NextID != first+len(batch) {
-		t.Fatalf("recovered NextID %d, want %d", st.NextID, first+len(batch))
+	if st.NextID != first+2*len(batch) {
+		t.Fatalf("recovered NextID %d, want %d", st.NextID, first+2*len(batch))
 	}
 	for i, id := range ids {
 		g, ok := rc.Graph(id)

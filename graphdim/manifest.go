@@ -303,7 +303,13 @@ func (s *Store) saveToLocked(dir string, truncate bool, extra *Collection) (err 
 			// (The source log's positions mean nothing to the copy.)
 			cm.WALSeq = 0
 		case c.wal != nil:
-			cm.WALSeq = c.wal.LastSeq()
+			// The settled watermark, not the raw log tail: on a follower
+			// the tail may include a mirrored add batch still buffered
+			// against a possible amendment — not yet in shard state, so a
+			// snapshot claiming to cover it would skip it on reopen. On a
+			// primary the two agree here (addMu is held, no writer is
+			// mid-batch).
+			cm.WALSeq = c.applied.Load()
 		default:
 			// No log (WAL disabled): keep the loaded position — segments
 			// up to it may still exist on disk, and a lower wal_seq would

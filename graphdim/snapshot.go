@@ -1,0 +1,146 @@
+package graphdim
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// Snapshot transfer — how a follower bootstraps. The primary streams
+// its last installed checkpoint as a tar archive (the manifest plus
+// every shard file it references); the follower extracts it into a
+// fresh data directory and opens it normally. The manifest's per-
+// collection WALSeq tells the opened store — and through it the
+// replication tailer — exactly where in the primary's sequence space
+// the image stops, and attachWAL seeds the follower's empty log to
+// continue numbering from there.
+
+// WriteSnapshotTar streams the store's last installed checkpoint to w
+// as a tar archive: store.json first, then each referenced shard file.
+// It serializes with Save/Checkpoint (holding the save lock), which is
+// what makes the read consistent: the manifest on disk cannot be
+// swapped, and the files it references are never truncated, overwritten
+// or swept while the lock is held. Live WAL segments are deliberately
+// not included — the image is exactly a checkpoint, and the receiver
+// reads everything after its WALSeq from the replication stream.
+func (s *Store) WriteSnapshotTar(w io.Writer) error {
+	if s.dir == "" {
+		return fmt.Errorf("graphdim: snapshot: store has no data directory")
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+
+	manPath := filepath.Join(s.dir, manifestName)
+	manData, err := os.ReadFile(manPath)
+	if err != nil {
+		return fmt.Errorf("graphdim: snapshot: %w", err)
+	}
+	var man storeManifest
+	if err := json.Unmarshal(manData, &man); err != nil {
+		return fmt.Errorf("graphdim: snapshot: decode manifest: %w", err)
+	}
+
+	tw := tar.NewWriter(w)
+	if err := tarFile(tw, manifestName, manData); err != nil {
+		return err
+	}
+	for _, cm := range man.Collections {
+		for _, f := range cm.ShardFiles {
+			path := filepath.Join(s.dir, cm.Name, f)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("graphdim: snapshot: %w", err)
+			}
+			if err := tarFile(tw, cm.Name+"/"+f, data); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return fmt.Errorf("graphdim: snapshot: %w", err)
+	}
+	return nil
+}
+
+func tarFile(tw *tar.Writer, name string, data []byte) error {
+	hdr := &tar.Header{Name: name, Mode: 0o644, Size: int64(len(data))}
+	if err := tw.WriteHeader(hdr); err != nil {
+		return fmt.Errorf("graphdim: snapshot: %w", err)
+	}
+	if _, err := tw.Write(data); err != nil {
+		return fmt.Errorf("graphdim: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ExtractSnapshotTar unpacks a WriteSnapshotTar stream into dir, which
+// must not already hold a store. Every file is fsynced (and the
+// directories after them) before it returns: a checkpoint image that a
+// replication follower will acknowledge against must not evaporate in a
+// crash. Entry names are confined to dir — a hostile archive cannot
+// escape it.
+func ExtractSnapshotTar(dir string, r io.Reader) error {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return fmt.Errorf("graphdim: extract snapshot: %s already holds a store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("graphdim: extract snapshot: %w", err)
+	}
+	tr := tar.NewReader(r)
+	dirs := map[string]bool{dir: true}
+	sawManifest := false
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("graphdim: extract snapshot: %w", err)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			return fmt.Errorf("graphdim: extract snapshot: unexpected entry type %d for %q", hdr.Typeflag, hdr.Name)
+		}
+		name := filepath.Clean(hdr.Name)
+		if name == "" || filepath.IsAbs(name) || name == ".." || strings.HasPrefix(name, ".."+string(filepath.Separator)) {
+			return fmt.Errorf("graphdim: extract snapshot: entry %q escapes the target directory", hdr.Name)
+		}
+		path := filepath.Join(dir, name)
+		if d := filepath.Dir(path); !dirs[d] {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return fmt.Errorf("graphdim: extract snapshot: %w", err)
+			}
+			dirs[d] = true
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("graphdim: extract snapshot: %w", err)
+		}
+		if _, err := io.Copy(f, tr); err != nil {
+			f.Close()
+			return fmt.Errorf("graphdim: extract snapshot: %q: %w", hdr.Name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("graphdim: extract snapshot: %q: %w", hdr.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("graphdim: extract snapshot: %q: %w", hdr.Name, err)
+		}
+		if name == manifestName {
+			sawManifest = true
+		}
+	}
+	if !sawManifest {
+		return fmt.Errorf("graphdim: extract snapshot: archive holds no %s", manifestName)
+	}
+	for d := range dirs {
+		wal.SyncDir(d)
+	}
+	return nil
+}

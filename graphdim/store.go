@@ -308,6 +308,17 @@ type Collection struct {
 	// nextID is written under addMu; atomic so read-only paths (Stats)
 	// never block behind a long Add or Save holding the writer lock.
 	nextID atomic.Int64
+	// applied is the settled watermark: the highest WAL sequence whose
+	// application outcome is final and visible in shard state. On a
+	// primary it trails LastSeq only while a writer holds addMu (an add
+	// batch between its append and its settle — success, or the
+	// amendment failAdd logs). A replication stream ships only records
+	// at or below it, so a shipped TypeAdd's amendment, if any, is
+	// already in the log behind it. On a follower it is advanced by the
+	// replica applier and trails the mirrored log by the buffered
+	// pending batch. Written under addMu; atomic for lock-free readers
+	// (freshness tokens, checkpoints, stats).
+	applied atomic.Uint64
 
 	// failShard, when non-nil, injects a per-shard failure into Add's
 	// fan-out — test-only, for exercising partial-apply paths that
@@ -806,6 +817,7 @@ func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
 	}
 	c.addMu.Lock()
 	defer c.addMu.Unlock()
+	defer c.settleApplied()
 
 	ids := make([]int, len(gs))
 	perShard := make(map[int]*shardBatch)
@@ -870,10 +882,13 @@ func (c *Collection) Add(ctx context.Context, gs ...*Graph) ([]int, error) {
 }
 
 // failAdd settles a failed Add batch: it amends the write-ahead log so
-// replay matches what actually committed, and burns the batch's ids
-// exactly when some of them are now visible (or when the log could not
-// be amended, so a replayed id can never collide with a later
-// assignment). Called under addMu.
+// replay matches what actually committed, and burns the batch's ids.
+// Ids burn even when nothing landed and the batch was cleanly voided —
+// on a durable store a global id, once logged, is never assigned again.
+// The invariant is what lets a replica that crash-replayed an unpaired
+// add record reconcile when the voiding amendment arrives (tombstoning
+// the batch) without a later assignment ever colliding with the ids it
+// buried. Called under addMu.
 func (c *Collection) failAdd(first, total int, appliedIDs []int, cause error) error {
 	if len(appliedIDs) > 0 {
 		sort.Ints(appliedIDs)
@@ -889,17 +904,27 @@ func (c *Collection) failAdd(first, total int, appliedIDs []int, cause error) er
 		}
 		return &PartialAddError{Applied: appliedIDs, Total: total, Err: cause}
 	}
-	// Nothing landed. Void the logged batch so replay skips it and the
-	// ids stay reusable, matching the in-memory outcome.
+	// Nothing landed. Void the logged batch so replay skips its graphs —
+	// but still burn its ids: the add record is in the log, and logged
+	// ids are never reassigned (see the doc comment). An in-memory
+	// collection never logged the batch, so its ids genuinely remain
+	// free there.
 	if c.wal != nil {
+		c.nextID.Add(int64(total))
 		if _, werr := c.wal.Append(wal.Record{Type: wal.TypeApplied, First: first, Total: total, IDs: nil}); werr != nil {
-			// The add record stands un-amended: burn its ids so a crash
-			// replaying the batch cannot collide with later assignments.
-			c.nextID.Add(int64(total))
 			return fmt.Errorf("graphdim: add failed (%w) and voiding its wal record failed (%v); batch ids burned", cause, werr)
 		}
 	}
 	return cause
+}
+
+// settleApplied advances the settled watermark to the log tail; called
+// under addMu as a writer's final act, when every appended record's
+// outcome is in the log. No-op without a log.
+func (c *Collection) settleApplied() {
+	if c.wal != nil {
+		c.applied.Store(c.wal.LastSeq())
+	}
 }
 
 type shardBatch struct {
@@ -916,6 +941,7 @@ func (c *Collection) Remove(ids ...int) error {
 	}
 	c.addMu.Lock()
 	defer c.addMu.Unlock()
+	defer c.settleApplied()
 	perShard := make(map[int][]int)
 	for _, id := range ids {
 		if id < 0 || int64(id) >= c.nextID.Load() {

@@ -28,12 +28,15 @@ import (
 	"repro/internal/metrics"
 )
 
-// Mix is the workload composition in percent; the three fields should
-// sum to 100 (Run normalizes whatever they sum to).
+// Mix is the workload composition in percent; the fields should sum to
+// 100 (Run normalizes whatever they sum to). FollowerSearchPct routes
+// searches to Config.FollowerURL — a replica read mix — and falls back
+// to the primary when no follower is configured.
 type Mix struct {
-	SearchPct int `json:"search_pct"`
-	AddPct    int `json:"add_pct"`
-	IngestPct int `json:"ingest_pct"`
+	SearchPct         int `json:"search_pct"`
+	AddPct            int `json:"add_pct"`
+	IngestPct         int `json:"ingest_pct"`
+	FollowerSearchPct int `json:"follower_search_pct,omitempty"`
 }
 
 // DefaultMix is a read-heavy serving mix with a steady write trickle.
@@ -60,6 +63,9 @@ type Config struct {
 	// IngestBatch is the number of graphs per ingest request (the
 	// server-side WAL batch is set to match); zero means 64.
 	IngestBatch int
+	// FollowerURL is the root of a replication follower; follower_search
+	// ops go here. Empty demotes follower searches to primary searches.
+	FollowerURL string
 	// Seed makes the op sequence and payloads reproducible.
 	Seed int64
 	// Client is the HTTP client to use; nil means http.DefaultClient.
@@ -100,11 +106,12 @@ const (
 	opSearch opKind = iota
 	opAdd
 	opIngest
+	opFollowerSearch
 	nKinds
 )
 
 func (k opKind) String() string {
-	return [...]string{"search", "add", "ingest"}[k]
+	return [...]string{"search", "add", "ingest", "follower_search"}[k]
 }
 
 // arrival is one scheduled operation.
@@ -168,8 +175,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	// Schedule every arrival up front — the open-loop clock.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	weights := []int{cfg.Mix.SearchPct, cfg.Mix.AddPct, cfg.Mix.IngestPct}
-	totalW := weights[0] + weights[1] + weights[2]
+	weights := []int{cfg.Mix.SearchPct, cfg.Mix.AddPct, cfg.Mix.IngestPct, cfg.Mix.FollowerSearchPct}
+	totalW := weights[0] + weights[1] + weights[2] + weights[3]
 	if totalW <= 0 {
 		return nil, fmt.Errorf("loadgen: mix sums to zero")
 	}
@@ -184,8 +191,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			kind = opSearch
 		case w < weights[0]+weights[1]:
 			kind = opAdd
-		default:
+		case w < weights[0]+weights[1]+weights[2]:
 			kind = opIngest
+		default:
+			kind = opFollowerSearch
+			if cfg.FollowerURL == "" {
+				kind = opSearch
+			}
 		}
 		arrivals <- arrival{at: start.Add(time.Duration(i) * interval), kind: kind, n: rng.Int()}
 	}
@@ -277,6 +289,10 @@ func (r *runner) execute(ctx context.Context, a arrival) {
 	switch a.kind {
 	case opSearch:
 		url = fmt.Sprintf("%s/search?k=%d", base, r.cfg.K)
+		body = r.queries[a.n%len(r.queries)]
+	case opFollowerSearch:
+		fbase := strings.TrimSuffix(r.cfg.FollowerURL, "/") + "/v1/collections/" + r.cfg.Collection
+		url = fmt.Sprintf("%s/search?k=%d", fbase, r.cfg.K)
 		body = r.queries[a.n%len(r.queries)]
 	case opAdd:
 		url = base + "/add"

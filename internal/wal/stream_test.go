@@ -1,0 +1,400 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// tinySeg opens a log whose segments roll after every record, so a few
+// appends produce a multi-segment layout.
+func tinySeg(t *testing.T, dir string) *Log {
+	t.Helper()
+	l, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func addRec(i int) Record {
+	return Record{Type: TypeAdd, First: i * 10, Graphs: []*graph.Graph{testGraph(3, i)}}
+}
+
+// TestReplayAfterLastSeqOfSegment pins the exact-boundary edge: replay
+// with `after` equal to the last record of each segment must deliver
+// exactly the records behind it, never duplicate the boundary record,
+// and never report corruption.
+func TestReplayAfterLastSeqOfSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := tinySeg(t, dir)
+	defer l.Close()
+	const n = 5
+	for i := 1; i <= n; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	// SegmentBytes=1 rolls before every append past the first, so every
+	// record sits in its own segment and every `after` value is a
+	// segment boundary.
+	for after := uint64(0); after <= n+1; after++ {
+		got := collect(t, l, after)
+		want := int(0)
+		if after < n {
+			want = n - int(after)
+		}
+		if len(got) != want {
+			t.Fatalf("Replay(after=%d): %d records, want %d", after, len(got), want)
+		}
+		if want > 0 && got[0].Seq != after+1 {
+			t.Fatalf("Replay(after=%d): first record %d, want %d", after, got[0].Seq, after+1)
+		}
+	}
+}
+
+// TestReplayEmptyTailSegment pins the empty-tail edge: a checkpoint
+// covering the whole log rolls to a fresh, record-free segment; replay
+// from the boundary (and beyond) must succeed and deliver nothing.
+func TestReplayEmptyTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	if err := l.Checkpoint(3); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := collect(t, l, 3); len(got) != 0 {
+		t.Fatalf("Replay(after=3) over empty tail segment: %d records, want 0", len(got))
+	}
+	if got := collect(t, l, 9); len(got) != 0 {
+		t.Fatalf("Replay(after=9) past the log: %d records, want 0", len(got))
+	}
+	// New appends land in the empty tail and replay from the boundary.
+	mustAppend(t, l, addRec(4))
+	got := collect(t, l, 3)
+	if len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("Replay(after=3) after appending into the rolled segment: %+v", got)
+	}
+
+	// The same holds across a reopen (Open scans the empty active
+	// segment and must still position seq correctly).
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 4 {
+		t.Fatalf("LastSeq after reopen = %d, want 4", l2.LastSeq())
+	}
+	if got := collect(t, l2, 4); len(got) != 0 {
+		t.Fatalf("Replay(after=4) after reopen: %d records, want 0", len(got))
+	}
+}
+
+// TestReplayBelowRetentionIsError: asking for records an earlier
+// checkpoint already deleted must fail loudly with ErrTruncated, not
+// silently replay a partial tail.
+func TestReplayBelowRetentionIsError(t *testing.T) {
+	dir := t.TempDir()
+	l := tinySeg(t, dir)
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	if err := l.Checkpoint(2); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	err := l.Replay(1, func(Record) error { return nil })
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Replay(after=1) below retention: err = %v, want ErrTruncated", err)
+	}
+	// The boundary itself is still fine: after=2 replays 3, 4.
+	if got := collect(t, l, 2); len(got) != 2 {
+		t.Fatalf("Replay(after=2): %d records, want 2", len(got))
+	}
+}
+
+// drain pulls every available record up to upper.
+func drain(t *testing.T, s *Stream, upper uint64) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, ok, err := s.Next(upper)
+		if err != nil {
+			t.Fatalf("stream Next: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestStreamFollowsRollsAndTail: a stream opened at 0 delivers existing
+// records across segment rolls, reports caught-up at the tail, then
+// resumes as new records commit.
+func TestStreamFollowsRollsAndTail(t *testing.T) {
+	dir := t.TempDir()
+	l := tinySeg(t, dir)
+	defer l.Close()
+	want := []Record{}
+	for i := 1; i <= 4; i++ {
+		rec := addRec(i)
+		seq := mustAppend(t, l, rec)
+		rec.Seq = seq
+		want = append(want, rec)
+	}
+	s := l.StreamFrom(0)
+	defer s.Close()
+	got := drain(t, s, l.LastSeq())
+	assertRecords(t, got, want)
+
+	// Caught up: no record, no error.
+	if _, ok, err := s.Next(l.LastSeq()); ok || err != nil {
+		t.Fatalf("caught-up Next: ok=%v err=%v", ok, err)
+	}
+
+	// New commits become visible, and Commits() wakes a waiter.
+	ch := l.Commits()
+	seq := mustAppend(t, l, addRec(5))
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commits channel did not fire after an append")
+	}
+	got = drain(t, s, l.LastSeq())
+	if len(got) != 1 || got[0].Seq != seq {
+		t.Fatalf("stream after live append: %+v", got)
+	}
+}
+
+// TestStreamUpperBound: records beyond the caller's bound stay
+// undelivered until the bound advances — the primary uses this to hold
+// back records whose application outcome is not yet settled.
+func TestStreamUpperBound(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	s := l.StreamFrom(0)
+	defer s.Close()
+	if got := drain(t, s, 2); len(got) != 2 {
+		t.Fatalf("bounded drain: %d records, want 2", len(got))
+	}
+	if got := drain(t, s, 3); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("after raising the bound: %+v", got)
+	}
+}
+
+// TestStreamResumeAtSegmentBoundary: StreamFrom positioned exactly at a
+// segment's last record resumes with the next segment's first record.
+func TestStreamResumeAtSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l := tinySeg(t, dir)
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	for after := uint64(0); after <= 4; after++ {
+		s := l.StreamFrom(after)
+		got := drain(t, s, l.LastSeq())
+		s.Close()
+		if len(got) != int(4-after) {
+			t.Fatalf("StreamFrom(%d): %d records, want %d", after, len(got), 4-after)
+		}
+		if len(got) > 0 && got[0].Seq != after+1 {
+			t.Fatalf("StreamFrom(%d): first record %d, want %d", after, got[0].Seq, after+1)
+		}
+	}
+}
+
+// TestStreamTruncatedPosition: a stream whose position was checkpointed
+// away reports ErrTruncated so the replica knows to re-bootstrap.
+func TestStreamTruncatedPosition(t *testing.T) {
+	dir := t.TempDir()
+	l := tinySeg(t, dir)
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	if err := l.Checkpoint(3); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	s := l.StreamFrom(0)
+	defer s.Close()
+	if _, _, err := s.Next(l.LastSeq()); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("stream below retention: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestRetainClampsCheckpoint: registered holds keep unacknowledged
+// segments on disk through checkpoints; releasing (or advancing) the
+// hold lets the next checkpoint reclaim them.
+func TestRetainClampsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l := tinySeg(t, dir)
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, l, addRec(i))
+	}
+	l.Retain("f1", 1)
+	l.Retain("f2", 3)
+	if err := l.Checkpoint(4); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := l.Stats()
+	if st.CheckpointSeq != 4 {
+		t.Fatalf("CheckpointSeq = %d, want 4 (holds clamp truncation, not the position)", st.CheckpointSeq)
+	}
+	if st.Retained != 2 || st.RetainSeq != 1 {
+		t.Fatalf("Retained=%d RetainSeq=%d, want 2 and 1", st.Retained, st.RetainSeq)
+	}
+	// Records 2.. must still replay for the slow follower.
+	if got := collect(t, l, 1); len(got) != 3 {
+		t.Fatalf("replay after clamped checkpoint: %d records, want 3", len(got))
+	}
+	// The slow follower acks and the next checkpoint reclaims.
+	l.Retain("f1", 4)
+	l.Retain("f2", 4)
+	if err := l.Checkpoint(4); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := l.Replay(1, func(Record) error { return nil }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("records should be gone after acks advanced: %v", err)
+	}
+	// Backwards acks are ignored.
+	l.Retain("f1", 0)
+	if st := l.Stats(); st.RetainSeq != 4 {
+		t.Fatalf("RetainSeq after backwards ack = %d, want 4", st.RetainSeq)
+	}
+	l.Unretain("f1")
+	l.Unretain("f2")
+	if st := l.Stats(); st.Retained != 0 {
+		t.Fatalf("Retained after Unretain = %d, want 0", st.Retained)
+	}
+}
+
+// TestAppendMirrorRoundTrip: a mirrored log reproduces the source's
+// bytes and positions — including across its own reopen — and rejects
+// out-of-order records.
+func TestAppendMirrorRoundTrip(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src := tinySeg(t, srcDir)
+	defer src.Close()
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, src, addRec(i))
+	}
+	dst, err := Open(dstDir, Options{})
+	if err != nil {
+		t.Fatalf("Open dst: %v", err)
+	}
+	var recs []Record
+	s := src.StreamFrom(0)
+	for {
+		rec, ok, err := s.Next(src.LastSeq())
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	s.Close()
+	if err := dst.AppendMirror(recs); err != nil {
+		t.Fatalf("AppendMirror: %v", err)
+	}
+	if dst.LastSeq() != src.LastSeq() {
+		t.Fatalf("mirror LastSeq = %d, want %d", dst.LastSeq(), src.LastSeq())
+	}
+	// A gap is rejected.
+	bad := recs[len(recs)-1]
+	bad.Seq += 2
+	if err := dst.AppendMirror([]Record{bad}); err == nil {
+		t.Fatal("AppendMirror accepted a sequence gap")
+	}
+	dst.Close()
+	re, err := Open(dstDir, Options{})
+	if err != nil {
+		t.Fatalf("reopen mirror: %v", err)
+	}
+	defer re.Close()
+	assertRecords(t, collect(t, re, 0), collect(t, src, 0))
+}
+
+// TestOpenFirstSeq: an empty directory seeded with FirstSeq numbers its
+// first record there — the bootstrap case where a follower's local log
+// continues the primary's numbering after a snapshot at seq N.
+func TestOpenFirstSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{FirstSeq: 42})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if l.LastSeq() != 41 {
+		t.Fatalf("LastSeq = %d, want 41", l.LastSeq())
+	}
+	rec := addRec(1)
+	rec.Seq = 42
+	if err := l.AppendMirror([]Record{rec}); err != nil {
+		t.Fatalf("AppendMirror: %v", err)
+	}
+	if got := collect(t, l, 41); len(got) != 1 || got[0].Seq != 42 {
+		t.Fatalf("replay from seeded log: %+v", got)
+	}
+	l.Close()
+	// FirstSeq is ignored once segments exist.
+	re, err := Open(dir, Options{FirstSeq: 7})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.LastSeq() != 42 {
+		t.Fatalf("LastSeq after reopen = %d, want 42", re.LastSeq())
+	}
+}
+
+// TestFrameCodecRoundTrip: EncodeFrame and FrameReader are the exact
+// on-disk framing, envelope reads included.
+func TestFrameCodecRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	var buf bytes.Buffer
+	for i, rec := range want {
+		rec.Seq = uint64(i + 1)
+		frame, err := EncodeFrame(rec)
+		if err != nil {
+			t.Fatalf("EncodeFrame(%d): %v", i, err)
+		}
+		buf.Write(frame)
+	}
+	fr := NewFrameReader(&buf)
+	var got []Record
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("FrameReader.Next: %v", err)
+		}
+		got = append(got, rec)
+	}
+	assertRecords(t, got, want)
+	if _, err := EncodeFrame(Record{Type: TypeRemove, IDs: []int{1}}); err == nil {
+		t.Fatal("EncodeFrame accepted a record without a sequence number")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -58,6 +59,12 @@ import (
 
 	"repro/internal/graph"
 )
+
+// ErrTruncated reports that the records a caller asked to read from —
+// Replay or StreamFrom with an `after` below the oldest retained
+// segment — have been deleted by a checkpoint. A replica seeing this
+// cannot catch up from the log and must re-bootstrap from a snapshot.
+var ErrTruncated = errors.New("wal: records truncated by checkpoint")
 
 const (
 	segMagic   = "GWALSEG1"
@@ -135,6 +142,12 @@ type Options struct {
 	// back off the file and every caller in it gets the error, exactly as
 	// if the fsync itself had failed. Must be safe for concurrent calls.
 	FailSync func() error
+	// FirstSeq, when > 0, seeds an empty directory so its first record
+	// gets this sequence number instead of 1 — a follower bootstrapping
+	// from a primary checkpoint at seq N opens its (empty) local log with
+	// FirstSeq N+1 so mirrored records keep the primary's numbering. A
+	// directory that already holds segments ignores it.
+	FirstSeq uint64
 }
 
 // Stats is a point-in-time snapshot of a log's counters.
@@ -154,6 +167,12 @@ type Stats struct {
 	// Segments and Bytes describe the on-disk footprint.
 	Segments int
 	Bytes    int64
+	// Retained counts registered replication holds (see Retain), and
+	// RetainSeq is the lowest acknowledged sequence among them — the
+	// position checkpoint truncation is currently clamped to. RetainSeq
+	// is meaningless when Retained is zero.
+	Retained  int
+	RetainSeq uint64
 }
 
 type segment struct {
@@ -185,6 +204,13 @@ type Log struct {
 	syncNanos int64
 	maxBatch  int
 	closed    bool
+	// commitCh is closed and replaced after every committed append, so
+	// streaming readers can block until new records exist (see Commits).
+	commitCh chan struct{}
+	// holds maps a replica id to the highest sequence it has durably
+	// acknowledged; Checkpoint never truncates a segment holding records
+	// any hold still needs (see Retain).
+	holds map[string]uint64
 }
 
 // appendWaiter is one Append call queued for group commit: the leader
@@ -226,7 +252,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opt}
+	l := &Log{dir: dir, opt: opt, commitCh: make(chan struct{}), holds: make(map[string]uint64)}
 	for _, e := range entries {
 		first, ok := parseSegName(e.Name())
 		if !ok || e.IsDir() {
@@ -245,10 +271,15 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 	}
 	if len(l.segs) == 0 {
-		if err := l.createSegment(1); err != nil {
+		first := uint64(1)
+		if opt.FirstSeq > 0 {
+			first = opt.FirstSeq
+		}
+		if err := l.createSegment(first); err != nil {
 			return nil, err
 		}
-		l.ckpt = 0
+		l.seq = first - 1
+		l.ckpt = first - 1
 		return l, nil
 	}
 	// Recover the active (newest) segment: find the last intact record
@@ -450,6 +481,26 @@ func (l *Log) commitGroup(batch []*appendWaiter) {
 	if len(committed) == 0 {
 		return
 	}
+	if err := l.writeFrames(buf, len(committed)); err != nil {
+		for _, w := range committed {
+			w.seq = 0
+			w.err = err
+			close(w.done)
+		}
+		return
+	}
+	for _, w := range committed {
+		close(w.done)
+	}
+}
+
+// writeFrames commits one already framed batch of records records to the
+// active segment: write, fsync (honouring NoSync and FailSync), then the
+// size/seq bookkeeping and the commit broadcast. Called with l.mu held;
+// the frames must carry sequence numbers l.seq+1..l.seq+records. On
+// error the batch's bytes are cut back off the file (best-effort) and
+// nothing is committed.
+func (l *Log) writeFrames(buf []byte, records int) error {
 	if l.segs[len(l.segs)-1].size >= l.opt.SegmentBytes {
 		// A failed roll is not a failed commit: the old segment is still
 		// writable, so grow it past the threshold and let a later append
@@ -459,18 +510,13 @@ func (l *Log) commitGroup(batch []*appendWaiter) {
 	}
 	active := &l.segs[len(l.segs)-1]
 	off := active.size
-	fail := func(err error) {
+	fail := func(err error) error {
 		l.f.Truncate(off)
 		l.f.Seek(off, io.SeekStart)
-		for _, w := range committed {
-			w.seq = 0
-			w.err = err
-			close(w.done)
-		}
+		return err
 	}
 	if _, err := l.f.Write(buf); err != nil {
-		fail(fmt.Errorf("wal: append: %w", err))
-		return
+		return fail(fmt.Errorf("wal: append: %w", err))
 	}
 	if !l.opt.NoSync {
 		start := time.Now()
@@ -479,25 +525,101 @@ func (l *Log) commitGroup(batch []*appendWaiter) {
 			err = l.opt.FailSync()
 		}
 		if err != nil {
-			fail(fmt.Errorf("wal: append: sync: %w", err))
-			return
+			return fail(fmt.Errorf("wal: append: sync: %w", err))
 		}
 		d := time.Since(start)
 		l.syncs++
 		l.syncNanos += int64(d)
 		if l.opt.SyncObserver != nil {
-			l.opt.SyncObserver(d, len(committed))
+			l.opt.SyncObserver(d, records)
 		}
 	}
 	active.size = off + int64(len(buf))
-	l.seq = seq
-	l.app += int64(len(committed))
-	if len(committed) > l.maxBatch {
-		l.maxBatch = len(committed)
+	l.seq += uint64(records)
+	l.app += int64(records)
+	if records > l.maxBatch {
+		l.maxBatch = records
 	}
-	for _, w := range committed {
-		close(w.done)
+	// Wake streaming readers: the records just committed are immutable
+	// on disk from here on.
+	close(l.commitCh)
+	l.commitCh = make(chan struct{})
+	return nil
+}
+
+// AppendMirror appends records that already carry sequence numbers — a
+// follower mirroring a primary's log writes the streamed records under
+// the primary's numbering, so both logs stay position-compatible. The
+// records must continue the local log exactly (first seq == LastSeq+1,
+// strictly consecutive); the whole batch commits under one write and one
+// fsync, or not at all.
+func (l *Log) AppendMirror(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	var buf []byte
+	seq := l.seq
+	for _, rec := range recs {
+		if rec.Seq != seq+1 {
+			return fmt.Errorf("wal: mirror append: record %d does not follow %d", rec.Seq, seq)
+		}
+		frame, err := encodeFrame(rec.Seq, rec)
+		if err != nil {
+			return err
+		}
+		seq++
+		buf = append(buf, frame...)
+	}
+	return l.writeFrames(buf, len(recs))
+}
+
+// Commits returns a channel closed when a record commits after this
+// call — the wait primitive behind long-polling streams. Callers
+// re-check state after the channel fires and call Commits again.
+func (l *Log) Commits() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commitCh
+}
+
+// Retain registers (or updates) a replication hold: the replica named id
+// has durably acknowledged every record with sequence <= acked, so
+// Checkpoint may not delete a segment holding any record after that.
+// Holds are in-memory state — a restarted primary forgets them, and a
+// replica whose records were truncated while it was away re-bootstraps
+// from a snapshot (Replay and StreamFrom report ErrTruncated).
+func (l *Log) Retain(id string, acked uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur, ok := l.holds[id]; ok && cur > acked {
+		return // acks never move backwards
+	}
+	l.holds[id] = acked
+}
+
+// Unretain drops the replica's hold; its segments become reclaimable by
+// the next checkpoint.
+func (l *Log) Unretain(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.holds, id)
+}
+
+// minHold returns the lowest acknowledged sequence across registered
+// holds. Called with l.mu held.
+func (l *Log) minHold() (uint64, bool) {
+	min, ok := uint64(0), false
+	for _, acked := range l.holds {
+		if !ok || acked < min {
+			min, ok = acked, true
+		}
+	}
+	return min, ok
 }
 
 // LastSeq returns the newest committed record's sequence number (0 for
@@ -512,6 +634,10 @@ func (l *Log) LastSeq() uint64 {
 // covered by a durable snapshot elsewhere: segments that hold only such
 // records are deleted. If the active segment is fully covered the log
 // rolls first, so steady-state checkpointing keeps reclaiming space.
+//
+// Registered replication holds (Retain) clamp the truncation — never the
+// recorded checkpoint position — so a segment an attached replica has
+// not acknowledged survives until its ack arrives, at the price of disk.
 func (l *Log) Checkpoint(through uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -521,22 +647,26 @@ func (l *Log) Checkpoint(through uint64) error {
 	if through > l.seq {
 		through = l.seq
 	}
+	if through > l.ckpt {
+		l.ckpt = through
+	}
+	reclaim := through
+	if min, ok := l.minHold(); ok && min < reclaim {
+		reclaim = min
+	}
 	active := l.segs[len(l.segs)-1]
-	if l.seq >= active.first && through == l.seq {
-		// The active segment has records and all of them are covered:
-		// roll so the loop below can reclaim it.
+	if l.seq >= active.first && reclaim == l.seq {
+		// The active segment has records and all of them are reclaimable:
+		// roll so the loop below can delete it.
 		if err := l.roll(); err != nil {
 			return err
 		}
 	}
-	for len(l.segs) > 1 && l.segs[1].first-1 <= through {
+	for len(l.segs) > 1 && l.segs[1].first-1 <= reclaim {
 		if err := os.Remove(l.segs[0].path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("wal: checkpoint: %w", err)
 		}
 		l.segs = l.segs[1:]
-	}
-	if through > l.ckpt {
-		l.ckpt = through
 	}
 	if !l.opt.NoSync {
 		SyncDir(l.dir)
@@ -548,7 +678,9 @@ func (l *Log) Checkpoint(through uint64) error {
 // to fn; fn returning an error stops the replay and returns that error.
 // A torn tail on the newest segment ends the replay silently (those
 // bytes were never acknowledged); a broken record anywhere earlier is
-// reported as corruption.
+// reported as corruption. Asking for records an earlier checkpoint has
+// already truncated (after+1 below the oldest segment's first record)
+// reports ErrTruncated rather than silently replaying a partial tail.
 func (l *Log) Replay(after uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segs...)
@@ -556,6 +688,10 @@ func (l *Log) Replay(after uint64, fn func(Record) error) error {
 	l.mu.Unlock()
 	if closed {
 		return fmt.Errorf("wal: log is closed")
+	}
+	if len(segs) > 0 && after+1 < segs[0].first {
+		return fmt.Errorf("wal: replay after %d, but the oldest retained record is %d: %w",
+			after, segs[0].first, ErrTruncated)
 	}
 	for i, sg := range segs {
 		lastSeg := i == len(segs)-1
@@ -629,6 +765,10 @@ func (l *Log) Stats() Stats {
 		LastSeq:       l.seq,
 		CheckpointSeq: l.ckpt,
 		Segments:      len(l.segs),
+		Retained:      len(l.holds),
+	}
+	if min, ok := l.minHold(); ok {
+		st.RetainSeq = min
 	}
 	for _, sg := range l.segs {
 		st.Bytes += sg.size
