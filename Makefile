@@ -8,11 +8,11 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 # COVER_MIN gates `make cover`: the combined statement coverage of the
-# public API package, the posting accelerator, the write-ahead log, the
-# replication client, the metrics registry, and the HTTP layer (ingest +
-# admission + replication handlers).
+# public API package, the posting accelerator, the pipeline stage DAG,
+# the write-ahead log, the replication client, the metrics registry, and
+# the HTTP layer (ingest + admission + replication handlers).
 COVER_MIN ?= 80
 # LOAD_DURATION / LOAD_MAX_P99_MS parameterize `make loadtest` and
 # `make loadtest-repl`; LOAD_MAX_LAG bounds how long the follower may
@@ -34,10 +34,11 @@ test:
 # cover enforces the coverage floor on the packages this repository's
 # correctness story leans on hardest: the graphdim API (engines, cache,
 # store, persistence, durability), the posting-list accelerator, the
+# pipeline stage DAG (parsing, filter compilation, aggregation), the
 # write-ahead log, the metrics registry, and the gserve HTTP layer
 # (ingest streaming and admission control live there).
 cover:
-	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/wal ./internal/repl ./internal/metrics ./cmd/gserve
+	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/pipeline ./internal/wal ./internal/repl ./internal/metrics ./cmd/gserve
 	@$(GO) tool cover -func=cover.out | awk '$$1 == "total:" { \
 		sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_MIN)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_MIN); exit 1 } \
@@ -46,7 +47,7 @@ cover:
 # The concurrency-heavy packages: shard fan-out, compaction swaps, the
 # worker budget, the write-ahead log, and the HTTP layer on top of them.
 race:
-	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pool/... ./internal/wal/... ./internal/repl/...
+	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pipeline/... ./internal/pool/... ./internal/wal/... ./internal/repl/...
 
 vet:
 	$(GO) vet ./...

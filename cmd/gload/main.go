@@ -1,8 +1,10 @@
 // Command gload is the load harness for gserve: it drives an open-loop
-// mixed workload (search/add/ingest) at a fixed arrival rate against a
-// running server and prints the latency distribution as JSON — p50,
-// p99, p999 per operation and overall, with 429-shed requests counted
-// separately from errors.
+// mixed workload (search/add/ingest/pipeline) at a fixed arrival rate
+// against a running server and prints the latency distribution as JSON —
+// p50, p99, p999 per operation and overall, with 429-shed requests
+// counted separately from errors. The fifth mix component sends
+// composable pipeline documents to /query (filtered grouped searches
+// and filtered counts).
 //
 // Open-loop means arrival times are fixed in advance at -rate: a
 // stalling server piles queue delay into the reported percentiles
@@ -45,10 +47,10 @@ import (
 
 func parseMix(s string) (loadgen.Mix, error) {
 	parts := strings.Split(s, ",")
-	if len(parts) != 3 && len(parts) != 4 {
-		return loadgen.Mix{}, fmt.Errorf("mix must be three or four comma-separated percentages (search,add,ingest[,follower_search]), got %q", s)
+	if len(parts) < 3 || len(parts) > 5 {
+		return loadgen.Mix{}, fmt.Errorf("mix must be three to five comma-separated percentages (search,add,ingest[,follower_search[,pipeline]]), got %q", s)
 	}
-	var pct [4]int
+	var pct [5]int
 	total := 0
 	for i, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
@@ -61,7 +63,7 @@ func parseMix(s string) (loadgen.Mix, error) {
 	if total == 0 {
 		return loadgen.Mix{}, fmt.Errorf("mix %q sums to zero", s)
 	}
-	return loadgen.Mix{SearchPct: pct[0], AddPct: pct[1], IngestPct: pct[2], FollowerSearchPct: pct[3]}, nil
+	return loadgen.Mix{SearchPct: pct[0], AddPct: pct[1], IngestPct: pct[2], FollowerSearchPct: pct[3], PipelinePct: pct[4]}, nil
 }
 
 func main() {
@@ -72,7 +74,7 @@ func main() {
 		coll     = flag.String("collection", "default", "target collection")
 		duration = flag.Duration("duration", 10*time.Second, "nominal run length (ops = duration * rate)")
 		rate     = flag.Float64("rate", 100, "open-loop arrival rate, operations/second")
-		mixFlag  = flag.String("mix", "80,15,5", "workload mix as search,add,ingest[,follower_search] percentages")
+		mixFlag  = flag.String("mix", "75,15,5,0,5", "workload mix as search,add,ingest[,follower_search[,pipeline]] percentages")
 		follower = flag.String("follower", "", "follower gserve base URL for the follower_search mix component (falls back to -addr when empty)")
 		conc     = flag.Int("concurrency", 32, "max outstanding requests")
 		k        = flag.Int("k", 5, "results per search")

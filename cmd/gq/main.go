@@ -1,0 +1,116 @@
+// Command gq runs a composable query pipeline — the same JSON documents
+// POST /v1/collections/{name}/query accepts — against an index file
+// built by dspm or a store directory saved by the graphdim.Store API,
+// offline, without a server.
+//
+// Usage:
+//
+//	gq -pipeline p.json -index index.gdx
+//	gq -pipeline p.json -index index.gdx -shards 4
+//	gq -pipeline - -store storedir -collection default < p.json
+//
+// A pipeline is {"stages":[...]} with filter, search, topk, limit,
+// count and group_by stages (see internal/pipeline); a search stage
+// carries its query graph inline as {"labels":[...],"edges":[[u,v,l],
+// ...]}. The result is printed as JSON on stdout: rows, count or
+// groups, plus execution stats (pushdown split, per-stage timings).
+// With -shards > 1 the flat index fans the pipeline out across an
+// in-memory sharded collection — per-shard partial aggregates merge to
+// the same answer, making the flag an equivalence check. Ctrl-C
+// cancels an in-flight pipeline promptly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/graphdim"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gq: ")
+	var (
+		pipePath = flag.String("pipeline", "", `pipeline JSON file ("-" = stdin)`)
+		index    = flag.String("index", "index.gdx", "index file built by dspm (overridden by -store)")
+		storeDir = flag.String("store", "", "store directory saved by graphdim.Store (overrides -index)")
+		collName = flag.String("collection", "default", "collection to query inside -store")
+		shards   = flag.Int("shards", 1, "with -index: split the index into this many shards and fan the pipeline out")
+	)
+	flag.Parse()
+	if *pipePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var body []byte
+	var err error
+	if *pipePath == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(*pipePath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := pipeline.Parse(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both backends run through a Collection — pipelines are a
+	// collection-level API (shard fan-out + partial-aggregate merge);
+	// a flat index simply becomes a 1-shard in-memory collection.
+	var coll *graphdim.Collection
+	if *storeDir != "" {
+		// Never a second owner of a live gserve's WAL: Disabled opens
+		// read the snapshot without touching the log (see gsearch).
+		store, err := graphdim.OpenStore(*storeDir, graphdim.StoreOptions{WAL: graphdim.WALOptions{Disabled: true}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		var ok bool
+		coll, ok = store.Collection(*collName)
+		if !ok {
+			log.Fatalf("store %s has no collection %q (have %v)", *storeDir, *collName, store.Collections())
+		}
+		log.Printf("opened %s/%s: %d graphs in %d shards", *storeDir, *collName, coll.Size(), coll.Shards())
+	} else {
+		f, err := os.Open(*index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err := graphdim.ReadIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		store := graphdim.NewStore(graphdim.StoreOptions{})
+		defer store.Close()
+		coll, err = store.CreateFromIndex(*collName, idx, graphdim.CollectionOptions{Shards: *shards})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := coll.Query(ctx, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -38,6 +38,12 @@
 //	       k, engine (mapped | verified | exact), factor, maxcand
 //	POST   /v1/collections/{name}/add        map graphs into the collection;
 //	       a partially applied batch answers 207 with the committed ids
+//	POST   /v1/collections/{name}/query      run a composable pipeline: a
+//	       JSON body {"stages":[{"filter":{...}},{"search":{...}},
+//	       {"group_by":{...}}]} of filter → search → aggregate stages;
+//	       declarative filters push down into posting intersections and
+//	       stay cacheable (see internal/pipeline); the gq CLI runs the
+//	       same documents offline
 //	POST   /v1/collections/{name}/ingest     bulk-load NDJSON graphs, one
 //	       {"labels":[...],"edges":[[u,v,label],...]} per line, applied in
 //	       ?batch=-sized groups (default 256) at one WAL fsync per group;
@@ -830,6 +836,8 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 		s.handleAdd(w, r, c)
 	case "ingest":
 		s.handleIngest(w, r, c)
+	case "query":
+		s.handleQuery(w, r, c)
 	case "stats":
 		if r.Method != http.MethodGet {
 			s.fail(w, http.StatusMethodNotAllowed, "GET reads collection stats")
@@ -841,7 +849,7 @@ func (s *server) handleCollectionAction(w http.ResponseWriter, r *http.Request) 
 	case "checkpoint":
 		s.handleCheckpoint(w, r, c)
 	default:
-		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, ingest, stats, compact or checkpoint)", action)
+		s.fail(w, http.StatusNotFound, "unknown action %q (want search, add, ingest, query, stats, compact or checkpoint)", action)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 // serverMetrics is the observability state behind /metrics: per-endpoint
@@ -25,6 +26,7 @@ type serverMetrics struct {
 
 	mu      sync.Mutex
 	latency map[string]*metrics.Histogram // endpoint → request latency, ns
+	stages  map[string]*metrics.Histogram // pipeline stage → latency, ns
 }
 
 func newServerMetrics() *serverMetrics {
@@ -33,6 +35,7 @@ func newServerMetrics() *serverMetrics {
 		fsync:      &metrics.Histogram{},
 		groupBatch: &metrics.Histogram{},
 		latency:    make(map[string]*metrics.Histogram),
+		stages:     make(map[string]*metrics.Histogram),
 	}
 	m.reg.Summary("gserve_wal_fsync_duration_seconds", "",
 		"time spent inside WAL fsync per group commit", m.fsync, 1e-9)
@@ -73,6 +76,43 @@ func (m *serverMetrics) observeRequest(endpoint string, code int, d time.Duratio
 	m.reg.Counter("gserve_http_requests_total",
 		fmt.Sprintf("code=\"%d\",endpoint=%q", code, endpoint),
 		"requests served by endpoint and status code").Inc()
+}
+
+// stageHistogram returns (registering on first use) the latency summary
+// for one pipeline stage. Like endpointHistogram, lazy registration
+// keeps the series absent until a pipeline query actually runs, so the
+// golden scrape shape of an idle server is unchanged.
+func (m *serverMetrics) stageHistogram(stage string) *metrics.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = &metrics.Histogram{}
+		m.stages[stage] = h
+		m.reg.Summary("gserve_pipeline_stage_duration_seconds",
+			fmt.Sprintf("stage=%q", stage),
+			"pipeline stage latency by stage", h, 1e-9)
+	}
+	return h
+}
+
+// observePipeline records one finished pipeline query: per-stage
+// latencies and the pushdown/fallback split of its filter predicates.
+// The counters register on first use for the same golden-scrape reason.
+func (m *serverMetrics) observePipeline(st pipeline.Stats) {
+	for _, t := range st.Stages {
+		m.stageHistogram(t.Stage).Observe(int64(t.ElapsedMS * 1e6))
+	}
+	if st.PushedPredicates > 0 {
+		m.reg.Counter("gserve_pipeline_pushdown_total", `outcome="pushdown"`,
+			"filter predicates answered by posting pushdown vs per-graph fallback").
+			Add(int64(st.PushedPredicates))
+	}
+	if st.FallbackPredicates > 0 {
+		m.reg.Counter("gserve_pipeline_pushdown_total", `outcome="fallback"`,
+			"filter predicates answered by posting pushdown vs per-graph fallback").
+			Add(int64(st.FallbackPredicates))
+	}
 }
 
 // rejectCounter returns the admission-reject counter for one lane.
@@ -163,7 +203,7 @@ func endpointLabel(r *http.Request) string {
 			return "collection"
 		case 2:
 			switch parts[1] {
-			case "search", "add", "ingest", "stats", "compact", "checkpoint":
+			case "search", "add", "ingest", "query", "stats", "compact", "checkpoint":
 				return parts[1]
 			}
 		}

@@ -29,10 +29,19 @@
 // Prometheus-text observability on /metrics (internal/metrics: a
 // dependency-free log-linear histogram registry — per-endpoint
 // p50/p99/p999, WAL fsync timings, group-commit batch sizes, admission
-// rejects, cache hit ratio). cmd/gload drives that surface with an
-// open-loop mixed workload and reports the latency distribution; the
-// other commands (gen, mine, dspm, gsearch, figures, benchjson) cover
-// the rest of the pipeline — see README.md for a tour.
+// rejects, cache hit ratio). Composable query pipelines
+// (internal/pipeline) run filter → search → aggregate chains in one
+// request: declarative filter stages push down into the posting lists
+// (and serialize canonically, so filtered searches stay cacheable where
+// opaque Predicate closures cannot), a similarity stage wraps the
+// three-engine Search, and streaming aggregates (count, group-by,
+// top-k, limit) fold per shard and merge exactly — surfaced as
+// POST /v1/collections/{name}/query, Collection.Query in Go, and the
+// offline cmd/gq binary. cmd/gload drives the HTTP surface with an
+// open-loop mixed workload (searches, writes, pipelines) and reports
+// the latency distribution; the other commands (gen, mine, dspm,
+// gsearch, figures, benchjson) cover the rest of the pipeline — see
+// README.md for a tour.
 //
 // The paper's algorithms and substrates are implemented under internal/
 // (see DESIGN.md for the full inventory and the concurrency model). The

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
 
 // CacheOptions configures a collection's query-result cache (see
@@ -23,9 +24,10 @@ import (
 // generation vector no longer matches simply miss (and are dropped on
 // touch).
 //
-// Queries with a Predicate bypass the cache (a function cannot be
-// canonicalized). All three engines cache; the MCS-based ones gain the
-// most, since a hit skips their verification work entirely.
+// Queries with a Predicate closure bypass the cache (a function cannot
+// be canonicalized); declarative Filters serialize to canonical bytes
+// and cache normally. All three engines cache; the MCS-based ones gain
+// the most, since a hit skips their verification work entirely.
 type CacheOptions struct {
 	// MaxEntries bounds the number of cached results. Zero disables the
 	// cache entirely — the zero value of CacheOptions means "no cache".
@@ -140,6 +142,10 @@ func cacheKey(q *Graph, opt SearchOptions) (string, bool) {
 	if err := graph.WriteBinary(&b, q); err != nil {
 		return "", false
 	}
+	// Declarative filters canonicalize — unlike a Predicate closure they
+	// do not force a bypass. The count prefix (0 when unfiltered) keeps
+	// filtered and unfiltered spellings from ever colliding.
+	b.Write(pipeline.CanonFilters(opt.Filters, nil))
 	return b.String(), true
 }
 

@@ -271,6 +271,11 @@ type snapshot struct {
 	// of the snapshot it is immutable to readers: Add extends it via
 	// posting.Append under the writer lock.
 	post *posting.Index
+	// labels holds the per-label inverted lists over db — the pushdown
+	// accelerator for declarative label filters (internal/pipeline).
+	// Same contract as post: covers every id, tombstones filtered by the
+	// scan, extended copy-on-write under the writer lock.
+	labels *posting.LabelIndex
 	// baseN is how many of the graphs were part of the database the
 	// dimension selection (Build) or persisted file saw; ids >= baseN
 	// entered through Add. baseDead counts the tombstoned ids below
@@ -329,6 +334,9 @@ func newIndex(features []*Graph, weights []float64, metric Metric, mcsOpt mcs.Op
 	}
 	if snap.post == nil {
 		snap.post = posting.FromVectors(snap.vectors, len(features))
+	}
+	if snap.labels == nil {
+		snap.labels = posting.LabelsFromGraphs(snap.db)
 	}
 	ix.snap.Store(snap)
 	return ix

@@ -1,0 +1,238 @@
+package graphdim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// queryTestCollection builds a small deterministic collection for
+// Query behavior tests (stats, stage errors, caching).
+func queryTestCollection(t *testing.T, shards int, cache CacheOptions) (*Collection, *Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	idx, _ := equivBuild(t, rng, 60)
+	s := NewStore(StoreOptions{})
+	t.Cleanup(func() { s.Close() })
+	c, err := s.CreateFromIndex("q", idx, CollectionOptions{Shards: shards, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, idx
+}
+
+func TestQueryScanStats(t *testing.T) {
+	c, idx := queryTestCollection(t, 2, CacheOptions{})
+	ctx := context.Background()
+
+	// A pushable label filter plus a residual count range: the stats
+	// must report the split, and the count must match a brute force.
+	lab := int(idx.Graph(0).VertexLabel(0))
+	f := &pipeline.Filter{
+		VertexLabels: []pipeline.LabelCount{{Label: lab}},
+		MinVertices:  2,
+	}
+	res, err := c.Query(ctx, &pipeline.Pipeline{Stages: []pipeline.Stage{
+		{Filter: f}, {Count: &pipeline.Count{}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for id := 0; id < idx.TotalGraphs(); id++ {
+		g := idx.Graph(id)
+		if idx.IsRemoved(id) || g.N() < 2 {
+			continue
+		}
+		vh, _ := g.LabelHistogram()
+		if vh[Label(lab)] >= 1 {
+			want++
+		}
+	}
+	if res.Count == nil || *res.Count != want {
+		t.Fatalf("count %v, want %d", res.Count, want)
+	}
+	if res.Stats.Matched != want {
+		t.Fatalf("stats.matched %d, want %d", res.Stats.Matched, want)
+	}
+	if res.Stats.PushedPredicates != 1 || res.Stats.FallbackPredicates != 1 {
+		t.Fatalf("pushdown split %d/%d, want 1/1", res.Stats.PushedPredicates, res.Stats.FallbackPredicates)
+	}
+	if res.Stats.Candidates < want || res.Stats.Candidates > int64(idx.TotalGraphs()) {
+		t.Fatalf("candidates %d outside [%d, %d]", res.Stats.Candidates, want, idx.TotalGraphs())
+	}
+	if len(res.Stats.Stages) != 2 || res.Stats.Stages[0].Stage != "scan" || res.Stats.Stages[1].Stage != "aggregate" {
+		t.Fatalf("stage timings %+v, want scan+aggregate", res.Stats.Stages)
+	}
+
+	// An unrestricted scan reports candidates = -1 (no pushdown).
+	res, err = c.Query(ctx, &pipeline.Pipeline{Stages: []pipeline.Stage{
+		{Filter: &pipeline.Filter{MinVertices: 1}}, {Count: &pipeline.Count{}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates != -1 {
+		t.Fatalf("unrestricted scan candidates %d, want -1", res.Stats.Candidates)
+	}
+}
+
+func TestQueryStageErrors(t *testing.T) {
+	c, idx := queryTestCollection(t, 1, CacheOptions{})
+	ctx := context.Background()
+	p := len(idx.Dimensions())
+
+	cases := []struct {
+		name      string
+		pipeline  *pipeline.Pipeline
+		wantIndex int
+		wantName  string
+		wantMsg   string
+	}{
+		{
+			"dims out of range",
+			&pipeline.Pipeline{Stages: []pipeline.Stage{
+				{Filter: &pipeline.Filter{MinVertices: 1}},
+				{Filter: &pipeline.Filter{DimsAll: []int{p}}},
+				{Count: &pipeline.Count{}},
+			}},
+			1, "filter", "out of range",
+		},
+		{
+			"bad query spec",
+			&pipeline.Pipeline{Stages: []pipeline.Stage{
+				{Filter: &pipeline.Filter{}},
+				{Search: &pipeline.Search{Query: &pipeline.GraphSpec{Labels: []int{1}, Edges: [][3]int{{0, 5, 0}}}, K: 3}},
+			}},
+			1, "search", "out of range",
+		},
+		{
+			"topk without search",
+			&pipeline.Pipeline{Stages: []pipeline.Stage{
+				{Filter: &pipeline.Filter{}},
+				{TopK: &pipeline.TopK{K: 2}},
+			}},
+			1, "topk", "needs a preceding search",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Query(ctx, tc.pipeline)
+			if err == nil {
+				t.Fatal("bad pipeline accepted")
+			}
+			var se *pipeline.StageError
+			if !errors.As(err, &se) {
+				t.Fatalf("want StageError, got %T: %v", err, err)
+			}
+			if se.Index != tc.wantIndex || se.Name != tc.wantName || !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("StageError{%d, %q, %v}, want index %d name %q msg ~%q",
+					se.Index, se.Name, se.Err, tc.wantIndex, tc.wantName, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestQueryFilteredSearchCached is the cacheability satellite:
+// declarative filters serialize into the generation-fenced cache key,
+// so repeated filtered queries hit; opaque Predicate closures still
+// bypass; and distinct filters never collide.
+func TestQueryFilteredSearchCached(t *testing.T) {
+	c, idx := queryTestCollection(t, 1, CacheOptions{MaxEntries: 32})
+	ctx := context.Background()
+	q := idx.Graph(3)
+	lab := int(q.VertexLabel(0))
+
+	run := func(f *pipeline.Filter) *pipeline.Result {
+		t.Helper()
+		stages := []pipeline.Stage{{Search: &pipeline.Search{G: q, K: 5}}}
+		if f != nil {
+			stages = append([]pipeline.Stage{{Filter: f}}, stages...)
+		}
+		res, err := c.Query(ctx, &pipeline.Pipeline{Stages: stages})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	fa := &pipeline.Filter{VertexLabels: []pipeline.LabelCount{{Label: lab}}}
+	fb := &pipeline.Filter{VertexLabels: []pipeline.LabelCount{{Label: lab, MinCount: 2}}}
+	first := run(fa)
+	st, ok := c.CacheStats()
+	if !ok || st.Hits != 0 || st.Misses == 0 {
+		t.Fatalf("first filtered query should miss: %+v", st)
+	}
+	second := run(fa)
+	st, _ = c.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("repeat of the same filtered query should hit: %+v", st)
+	}
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatalf("cache changed the answer: %d vs %d rows", len(first.Rows), len(second.Rows))
+	}
+	for i := range first.Rows {
+		if first.Rows[i].ID != second.Rows[i].ID || *first.Rows[i].Distance != *second.Rows[i].Distance {
+			t.Fatalf("cache changed row %d: %+v vs %+v", i, first.Rows[i], second.Rows[i])
+		}
+	}
+
+	// A different filter must not collide with fa's entry.
+	bRes := run(fb)
+	st, _ = c.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("distinct filter hit a stale entry: %+v", st)
+	}
+	if len(bRes.Rows) > len(first.Rows) {
+		t.Fatalf("stricter filter returned more rows (%d > %d)", len(bRes.Rows), len(first.Rows))
+	}
+
+	// Opaque Predicate closures keep bypassing the cache entirely.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Search(ctx, q, SearchOptions{K: 5, Predicate: func(int, *Graph) bool { return true }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, _ := c.CacheStats()
+	if st2.Hits != st.Hits || st2.Misses != st.Misses {
+		t.Fatalf("Predicate search touched the cache: %+v vs %+v", st2, st)
+	}
+
+	// Mutating the collection fences the old entries out.
+	if _, err := c.Add(ctx, idx.Graph(1)); err != nil {
+		t.Fatal(err)
+	}
+	run(fa)
+	st3, _ := c.CacheStats()
+	if st3.Hits != st.Hits {
+		t.Fatalf("filtered query hit across a generation change: %+v", st3)
+	}
+}
+
+// TestQueryScanRows pins the bare-scan contract: rows stream out in id
+// order, bounded by DefaultScanLimit, with no distances.
+func TestQueryScanRows(t *testing.T) {
+	c, idx := queryTestCollection(t, 3, CacheOptions{})
+	ctx := context.Background()
+	res, err := c.Query(ctx, &pipeline.Pipeline{Stages: []pipeline.Stage{
+		{Filter: &pipeline.Filter{MinVertices: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != idx.Size() {
+		t.Fatalf("%d rows, want every live graph (%d)", len(res.Rows), idx.Size())
+	}
+	for i, r := range res.Rows {
+		if r.Distance != nil {
+			t.Fatalf("scan row %d carries a distance", i)
+		}
+		if i > 0 && res.Rows[i-1].ID >= r.ID {
+			t.Fatalf("rows out of id order at %d: %d then %d", i, res.Rows[i-1].ID, r.ID)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/internal/pool"
 	"repro/internal/topk"
 	"repro/internal/vecspace"
@@ -102,6 +103,14 @@ type SearchOptions struct {
 	// and the graph itself; it must be cheap (it runs inside the scan)
 	// and safe for concurrent calls (SearchBatch fans out).
 	Predicate func(id int, g *Graph) bool
+	// Filters restricts the search with declarative structural
+	// predicates (see pipeline.Filter), ANDed with each other and with
+	// Predicate. Unlike Predicate, filters push down: the parts a
+	// posting list or ones-count bucket can answer restrict the scan to
+	// the matching ids before any distance is computed, and the whole
+	// chain serializes canonically, so filtered queries stay cacheable
+	// where a Predicate closure must bypass the cache.
+	Filters []*pipeline.Filter
 	// NoPrune disables posting-list candidate pruning for this query,
 	// forcing the flat scan of every live vector. Results are identical
 	// either way — pruning is an exact accelerator, and an adaptive cost
@@ -138,6 +147,14 @@ func (o SearchOptions) Validate() error {
 	}
 	if o.Metric != MetricIndexDefault && o.Metric != MetricDelta1 && o.Metric != MetricDelta2 {
 		return fmt.Errorf("graphdim: unknown metric choice %d", int(o.Metric))
+	}
+	for i, f := range o.Filters {
+		if f == nil {
+			return fmt.Errorf("graphdim: nil filter at index %d", i)
+		}
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("graphdim: filter %d: %v", i, err)
+		}
 	}
 	return nil
 }
@@ -238,6 +255,41 @@ func (s *snapshot) planCandidates(qv *vecspace.BitVector, wantK int, noPrune boo
 	}
 }
 
+// catalog exposes the snapshot's pushdown structures to the filter
+// compiler.
+func (s *snapshot) catalog() pipeline.Catalog {
+	return pipeline.Catalog{N: len(s.db), Post: s.post, Labels: s.labels}
+}
+
+// composePredicate ANDs a compiled filter residual with a caller
+// predicate, keeping nil when both are nil.
+func composePredicate(residual func(id int, g *Graph) bool, pred func(id int, g *Graph) bool) func(id int, g *Graph) bool {
+	if residual == nil {
+		return pred
+	}
+	if pred == nil {
+		return residual
+	}
+	return func(id int, g *Graph) bool {
+		return residual(id, g) && pred(id, g)
+	}
+}
+
+// memberFunc builds an O(1) membership test over a sorted id list — a
+// bitmap when the id space is known, so the flat/exact scans can take a
+// pushdown intersection as a predicate.
+func memberFunc(ids []int32, n int) func(int) bool {
+	words := make([]uint64, (n+63)/64)
+	for _, id := range ids {
+		if int(id) < n {
+			words[id/64] |= 1 << (uint(id) % 64)
+		}
+	}
+	return func(id int) bool {
+		return id < n && words[id/64]&(1<<(uint(id)%64)) != 0
+	}
+}
+
 // Search answers a top-k similarity query with per-query options: engine
 // choice, verification factor, metric override, and a result predicate
 // (see SearchOptions). It reads an immutable snapshot, so a Search
@@ -267,7 +319,44 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 	}
 
 	s := ix.snap.Load()
-	alive := s.alive(opt.Predicate)
+	pred := opt.Predicate
+	var filtered []int32 // pushdown ids for the pruned plan, nil = none
+	if len(opt.Filters) > 0 {
+		comp, cerr := pipeline.CompileFilters(opt.Filters, s.catalog())
+		if cerr != nil {
+			return nil, fmt.Errorf("graphdim: %v", cerr)
+		}
+		pred = composePredicate(comp.Residual, pred)
+		if comp.Restricted {
+			if opt.Engine != EngineExact && !opt.NoPrune {
+				// The pruned scan takes the pushed-down ids directly:
+				// score exactly these (same distance expression as the
+				// flat scan), stream nothing else. IDs may include
+				// zero-overlap ids — harmless, they are scored from
+				// their vectors like any matched id.
+				filtered = comp.IDs
+			} else {
+				// Flat and exact paths take membership as a predicate.
+				member := memberFunc(comp.IDs, len(s.db))
+				inner := pred
+				pred = func(id int, g *Graph) bool {
+					return member(id) && (inner == nil || inner(id, g))
+				}
+			}
+		}
+	}
+	alive := s.alive(pred)
+	plan := func(wantK int) *topk.Candidates {
+		if filtered != nil {
+			return &topk.Candidates{
+				K:         wantK,
+				QueryOnes: qv.Ones(),
+				Matched:   filtered,
+				Rest:      func(func(id, ones int32) bool) {},
+			}
+		}
+		return s.planCandidates(qv, wantK, opt.NoPrune)
+	}
 	var (
 		ranking    topk.Ranking
 		candidates int
@@ -275,7 +364,7 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 	switch opt.Engine {
 	case EngineMapped:
 		ranking, candidates, err = topk.MappedContext(ctx, s.vectors, qv, alive,
-			s.planCandidates(qv, opt.K, opt.NoPrune))
+			plan(opt.K))
 	case EngineVerified:
 		factor := opt.VerifyFactor
 		if factor == 0 {
@@ -293,7 +382,7 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 		}
 		ranking, candidates, err = topk.VerifiedContext(ctx, s.db, s.vectors, q, qv,
 			opt.K, factor, opt.MaxCandidates, metric, ix.mcsOpt, alive,
-			s.planCandidates(qv, wantEstimate, opt.NoPrune))
+			plan(wantEstimate))
 	case EngineExact:
 		ranking, err = topk.ExactContext(ctx, s.db, q, metric, ix.mcsOpt, alive)
 		candidates = len(ranking)

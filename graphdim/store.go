@@ -616,6 +616,9 @@ func (c *Collection) overlay(opt SearchOptions) SearchOptions {
 	if opt.Predicate == nil {
 		opt.Predicate = d.Predicate
 	}
+	if opt.Filters == nil {
+		opt.Filters = d.Filters
+	}
 	return opt
 }
 

@@ -67,6 +67,7 @@ func (ix *Index) AddContext(ctx context.Context, gs ...*Graph) ([]int, error) {
 		// linear snapshot chain Append requires is exactly what ix.mu
 		// enforces.
 		post:     cur.post.Append(newVecs),
+		labels:   cur.labels.Append(gs),
 		baseN:    cur.baseN,
 		baseDead: cur.baseDead,
 	}
@@ -113,6 +114,7 @@ func (ix *Index) Remove(ids ...int) error {
 		dead:      append([]bool(nil), cur.dead...),
 		deadCount: cur.deadCount + len(ids),
 		post:      cur.post,
+		labels:    cur.labels,
 		baseN:     cur.baseN,
 		baseDead:  cur.baseDead,
 	}

@@ -37,10 +37,14 @@ type Mix struct {
 	AddPct            int `json:"add_pct"`
 	IngestPct         int `json:"ingest_pct"`
 	FollowerSearchPct int `json:"follower_search_pct,omitempty"`
+	// PipelinePct routes requests to the /query pipeline endpoint
+	// (filter → search → group_by documents).
+	PipelinePct int `json:"pipeline_pct,omitempty"`
 }
 
-// DefaultMix is a read-heavy serving mix with a steady write trickle.
-var DefaultMix = Mix{SearchPct: 80, AddPct: 15, IngestPct: 5}
+// DefaultMix is a read-heavy serving mix with a steady write trickle
+// and a slice of analytics pipelines.
+var DefaultMix = Mix{SearchPct: 75, AddPct: 15, IngestPct: 5, PipelinePct: 5}
 
 // Config parameterizes one load run.
 type Config struct {
@@ -107,11 +111,12 @@ const (
 	opAdd
 	opIngest
 	opFollowerSearch
+	opPipeline
 	nKinds
 )
 
 func (k opKind) String() string {
-	return [...]string{"search", "add", "ingest", "follower_search"}[k]
+	return [...]string{"search", "add", "ingest", "follower_search", "pipeline"}[k]
 }
 
 // arrival is one scheduled operation.
@@ -138,9 +143,10 @@ type runner struct {
 	errOnce sync.Once
 	errMsg  atomic.Value // string
 
-	queries []string // rendered search bodies
-	adds    []string // rendered add bodies (single graph)
-	ingests []string // rendered NDJSON ingest bodies
+	queries   []string // rendered search bodies
+	adds      []string // rendered add bodies (single graph)
+	ingests   []string // rendered NDJSON ingest bodies
+	pipelines []string // rendered JSON pipeline bodies
 }
 
 // Run executes the configured workload and blocks until every arrival
@@ -175,8 +181,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	// Schedule every arrival up front — the open-loop clock.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	weights := []int{cfg.Mix.SearchPct, cfg.Mix.AddPct, cfg.Mix.IngestPct, cfg.Mix.FollowerSearchPct}
-	totalW := weights[0] + weights[1] + weights[2] + weights[3]
+	weights := []int{cfg.Mix.SearchPct, cfg.Mix.AddPct, cfg.Mix.IngestPct, cfg.Mix.FollowerSearchPct, cfg.Mix.PipelinePct}
+	totalW := weights[0] + weights[1] + weights[2] + weights[3] + weights[4]
 	if totalW <= 0 {
 		return nil, fmt.Errorf("loadgen: mix sums to zero")
 	}
@@ -193,11 +199,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			kind = opAdd
 		case w < weights[0]+weights[1]+weights[2]:
 			kind = opIngest
-		default:
+		case w < weights[0]+weights[1]+weights[2]+weights[3]:
 			kind = opFollowerSearch
 			if cfg.FollowerURL == "" {
 				kind = opSearch
 			}
+		default:
+			kind = opPipeline
 		}
 		arrivals <- arrival{at: start.Add(time.Duration(i) * interval), kind: kind, n: rng.Int()}
 	}
@@ -280,6 +288,40 @@ func (r *runner) buildPayloads() error {
 		}
 		r.ingests = append(r.ingests, buf.String())
 	}
+	// Pipeline bodies: a label filter (posting pushdown) in front of a
+	// grouped search, and a pure filtered count — the two shapes the
+	// /query endpoint serves most.
+	for i := 0; i < 4; i++ {
+		g := db[i%variants]
+		labels := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			labels[v] = int(g.VertexLabel(v))
+		}
+		edges := make([][3]int, 0, g.M())
+		for _, e := range g.Edges() {
+			edges = append(edges, [3]int{e.U, e.V, int(e.Label)})
+		}
+		filter := map[string]any{"filter": map[string]any{
+			"vertex_labels": []map[string]any{{"label": labels[0]}},
+		}}
+		var stages []any
+		if i%2 == 0 {
+			stages = []any{filter,
+				map[string]any{"search": map[string]any{
+					"query": map[string]any{"labels": labels, "edges": edges},
+					"k":     r.cfg.K,
+				}},
+				map[string]any{"group_by": map[string]any{"key": "score_bucket"}},
+			}
+		} else {
+			stages = []any{filter, map[string]any{"count": map[string]any{}}}
+		}
+		b, err := json.Marshal(map[string]any{"stages": stages})
+		if err != nil {
+			return err
+		}
+		r.pipelines = append(r.pipelines, string(b))
+	}
 	return nil
 }
 
@@ -300,6 +342,9 @@ func (r *runner) execute(ctx context.Context, a arrival) {
 	case opIngest:
 		url = fmt.Sprintf("%s/ingest?batch=%d", base, r.cfg.IngestBatch)
 		body = r.ingests[a.n%len(r.ingests)]
+	case opPipeline:
+		url = base + "/query"
+		body = r.pipelines[a.n%len(r.pipelines)]
 	}
 	st := &r.stats[a.kind]
 	st.count.Add(1)

@@ -1,0 +1,145 @@
+package posting
+
+import (
+	"repro/internal/graph"
+)
+
+// LabelIndex holds per-label inverted lists over a database of graphs:
+// for every vertex (and edge) label, the ascending ids of the graphs
+// containing it, with the occurrence count carried alongside. It is the
+// structure that lets a declarative label filter — "contains vertex
+// label 7 at least 3 times" — be answered by a posting intersection
+// instead of a per-graph histogram scan (see internal/pipeline).
+//
+// The concurrency contract mirrors Index: a LabelIndex is immutable to
+// readers, Append returns an extended index sharing the untouched tails
+// of the old one, Appends must be serialized by the caller and only ever
+// applied to the newest index of a chain, and removals are not label
+// events — tombstoned ids stay listed and are filtered by the scan's
+// liveness predicate.
+type LabelIndex struct {
+	n      int
+	vertex map[graph.Label]*labelList
+	edge   map[graph.Label]*labelList
+}
+
+// labelList is one label's postings: ids[i] contains the label
+// counts[i] times (counts[i] >= 1 always; absent graphs are not listed).
+type labelList struct {
+	ids    []int32
+	counts []int32
+}
+
+// LabelsFromGraphs builds the label index for graphs with ids
+// [0, len(gs)).
+func LabelsFromGraphs(gs []*graph.Graph) *LabelIndex {
+	l := &LabelIndex{
+		vertex: make(map[graph.Label]*labelList),
+		edge:   make(map[graph.Label]*labelList),
+	}
+	return l.Append(gs)
+}
+
+// N returns the number of ids covered (ids are exactly [0, N)).
+func (l *LabelIndex) N() int { return l.n }
+
+// Append extends the index with the graphs of ids [N, N+len(gs)) and
+// returns the extended index. Like Index.Append, the receiver stays
+// valid for concurrent readers (appended entries land beyond every
+// published slice length) and callers must serialize Appends, always
+// appending to the newest index of a chain.
+func (l *LabelIndex) Append(gs []*graph.Graph) *LabelIndex {
+	if len(gs) == 0 {
+		return l
+	}
+	next := &LabelIndex{
+		n:      l.n + len(gs),
+		vertex: make(map[graph.Label]*labelList, len(l.vertex)),
+		edge:   make(map[graph.Label]*labelList, len(l.edge)),
+	}
+	for lab, ll := range l.vertex {
+		next.vertex[lab] = &labelList{ids: ll.ids, counts: ll.counts}
+	}
+	for lab, ll := range l.edge {
+		next.edge[lab] = &labelList{ids: ll.ids, counts: ll.counts}
+	}
+	// Per-graph scratch: label -> occurrences, reused across graphs.
+	vc := make(map[graph.Label]int32)
+	ec := make(map[graph.Label]int32)
+	for i, g := range gs {
+		id := int32(l.n + i)
+		clear(vc)
+		clear(ec)
+		for v := 0; v < g.N(); v++ {
+			vc[g.VertexLabel(v)]++
+		}
+		for _, e := range g.Edges() {
+			ec[e.Label]++
+		}
+		appendCounts(next.vertex, vc, id)
+		appendCounts(next.edge, ec, id)
+	}
+	return next
+}
+
+func appendCounts(m map[graph.Label]*labelList, counts map[graph.Label]int32, id int32) {
+	for lab, c := range counts {
+		ll := m[lab]
+		if ll == nil {
+			ll = &labelList{}
+			m[lab] = ll
+		}
+		ll.ids = append(ll.ids, id)
+		ll.counts = append(ll.counts, c)
+	}
+}
+
+// Vertex returns, ascending, the ids of graphs containing vertex label
+// lab at least minCount times (minCount <= 1 means presence). When
+// minCount <= 1 the returned slice is shared with the index and must
+// not be modified; otherwise it is freshly allocated.
+func (l *LabelIndex) Vertex(lab graph.Label, minCount int) []int32 {
+	return lookup(l.vertex, lab, minCount)
+}
+
+// Edge is Vertex for edge labels.
+func (l *LabelIndex) Edge(lab graph.Label, minCount int) []int32 {
+	return lookup(l.edge, lab, minCount)
+}
+
+func lookup(m map[graph.Label]*labelList, lab graph.Label, minCount int) []int32 {
+	ll := m[lab]
+	if ll == nil {
+		return nil
+	}
+	if minCount <= 1 {
+		return ll.ids
+	}
+	var out []int32
+	for i, id := range ll.ids {
+		if int(ll.counts[i]) >= minCount {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// OnesRange returns, ascending, the ids whose vector has a set-bit
+// count in [min, max] (max <= 0 or max > p means "up to p") — the
+// ones-count buckets merged into one sorted list, the pushdown form of
+// a dimension-density filter.
+func (ix *Index) OnesRange(min, max int) []int32 {
+	if min < 0 {
+		min = 0
+	}
+	if max <= 0 || max > ix.p {
+		max = ix.p
+	}
+	var lists [][]int32
+	for c := min; c <= max && c < len(ix.byCount); c++ {
+		if len(ix.byCount[c]) > 0 {
+			lists = append(lists, ix.byCount[c])
+		}
+	}
+	return Union(lists...)
+}
