@@ -8,7 +8,7 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 # COVER_MIN gates `make cover`: the combined statement coverage of the
 # public API package, the posting accelerator, the pipeline stage DAG,
 # the write-ahead log, the replication client, the metrics registry, and
@@ -45,9 +45,10 @@ cover:
 		else printf "coverage %.1f%% (floor $(COVER_MIN)%%)\n", $$3 }'
 
 # The concurrency-heavy packages: shard fan-out, compaction swaps, the
-# worker budget, the write-ahead log, and the HTTP layer on top of them.
+# worker budget, the write-ahead log, the HTTP layer on top of them, and
+# the scan kernel (lazy SoA block publication, pooled scratch arenas).
 race:
-	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pipeline/... ./internal/pool/... ./internal/wal/... ./internal/repl/...
+	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pipeline/... ./internal/pool/... ./internal/wal/... ./internal/repl/... ./internal/topk/... ./internal/vecspace/...
 
 vet:
 	$(GO) vet ./...

@@ -724,3 +724,45 @@ func BenchmarkIngest(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSearchAllocs tracks the warm-query allocation profile the
+// SoA scan's scratch arenas pin (see TestSearchAllocsBounded for the
+// hard ceiling): repeated mapped searches against a 1000-graph index,
+// flat and pruned, cache off. Watch allocs/op — it must stay a small
+// constant, independent of the database size.
+func BenchmarkSearchAllocs(b *testing.B) {
+	db := dataset.Synthetic(dataset.SynthConfig{N: 1000, AvgEdges: 10, Labels: 6, Seed: 13})
+	idx, err := graphdim.Build(db, graphdim.Options{
+		Dimensions: 48, Tau: 0.05, MaxPatternEdges: 3, MCSBudget: 500,
+		Algorithm: graphdim.DSPMap, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A single-vertex query: the mapping's size filter rejects every
+	// dimension before VF2 allocates matcher state, so allocs/op
+	// reflects the scan, not the matcher.
+	q := graphdim.NewGraph(1)
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name    string
+		noPrune bool
+	}{
+		{"flat", true},
+		{"pruned", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opt := graphdim.SearchOptions{K: 10, NoPrune: bc.noPrune}
+			if _, err := idx.Search(ctx, q, opt); err != nil { // warm the block + scratch pool
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Search(ctx, q, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

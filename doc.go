@@ -37,7 +37,15 @@
 // three-engine Search, and streaming aggregates (count, group-by,
 // top-k, limit) fold per shard and merge exactly — surfaced as
 // POST /v1/collections/{name}/query, Collection.Query in Go, and the
-// offline cmd/gq binary. cmd/gload drives the HTTP surface with an
+// offline cmd/gq binary. Under every one of those query paths the
+// mapped scan runs a structure-of-arrays kernel (internal/vecspace's
+// tile-packed Block, built lazily per snapshot and extended
+// copy-on-write): one query word streams against 16 graphs per
+// popcount iteration, a bounded heap selects the top-k without sorting
+// the database, and pooled scratch arenas hold a warm query at O(1)
+// allocations — with rankings bit-identical to the scalar reference,
+// pinned by a randomized kernel-equivalence suite and an allocation
+// regression test (DESIGN.md §14). cmd/gload drives the HTTP surface with an
 // open-loop mixed workload (searches, writes, pipelines) and reports
 // the latency distribution; the other commands (gen, mine, dspm,
 // gsearch, figures, benchjson) cover the rest of the pipeline — see

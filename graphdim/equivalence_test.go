@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/topk"
 )
 
 // The property-based engine-equivalence suite: randomized collections
@@ -86,6 +87,35 @@ func assertPrunedEqualsFlat(t *testing.T, label string, idx *Index, q *Graph, op
 	}
 	if pruned.Matched.Count() != flat.Matched.Count() {
 		t.Fatalf("%s: matched dimensions diverge: %d vs %d", label, pruned.Matched.Count(), flat.Matched.Count())
+	}
+	// Third leg, mapped engine only: both Search paths above ran the SoA
+	// kernel; re-derive the ranking with the scalar reference
+	// (topk.MappedContext over the snapshot's vectors — no block, no
+	// scratch, full sort) and require the kernel results bit-identical
+	// to its prefix, distances included.
+	if opt.Engine == EngineMapped && opt.Predicate == nil && len(opt.Filters) == 0 {
+		s := idx.snap.Load()
+		qv, err := idx.mapper.MapContext(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: MapContext: %v", label, err)
+		}
+		ref, _, err := topk.MappedContext(ctx, s.vectors, qv, s.alive(nil), nil)
+		if err != nil {
+			t.Fatalf("%s: scalar reference: %v", label, err)
+		}
+		k := opt.K
+		if k > len(ref) {
+			k = len(ref)
+		}
+		if len(flat.Results) != k {
+			t.Fatalf("%s: kernel returned %d results, scalar reference has %d", label, len(flat.Results), k)
+		}
+		for i, r := range flat.Results {
+			if r.ID != ref[i].ID || r.Distance != ref[i].Score {
+				t.Fatalf("%s: kernel result %d = {%d, %v}, scalar reference {%d, %v} (bit-identical required)",
+					label, i, r.ID, r.Distance, ref[i].ID, ref[i].Score)
+			}
+		}
 	}
 	return pruned
 }

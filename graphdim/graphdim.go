@@ -282,6 +282,29 @@ type snapshot struct {
 	// baseN. StaleRatio derives from both.
 	baseN    int
 	baseDead int
+	// block caches the SoA form of vectors the batched scan kernel
+	// streams (vecspace.Block). It is built lazily by the first scan
+	// that needs it — soaBlock — and carried copy-on-write through
+	// Add/Remove like post and labels: Add extends an already-built
+	// block via Block.Append under the writer lock, Remove shares it
+	// unchanged (tombstones are filtered by alive, not block events).
+	// A snapshot whose block was never demanded swaps nil forward and
+	// the next scan packs from scratch.
+	block atomic.Pointer[vecspace.Block]
+}
+
+// soaBlock returns the snapshot's SoA scan block, packing the vectors
+// on first demand. Racing first readers may each pack; the content is
+// deterministic and CompareAndSwap publishes exactly one.
+func (s *snapshot) soaBlock(p int) *vecspace.Block {
+	if b := s.block.Load(); b != nil {
+		return b
+	}
+	b := vecspace.Pack(s.vectors, p)
+	if s.block.CompareAndSwap(nil, b) {
+		return b
+	}
+	return s.block.Load()
 }
 
 // alive adapts the snapshot's tombstones plus an optional caller

@@ -357,14 +357,19 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 		}
 		return s.planCandidates(qv, wantK, opt.NoPrune)
 	}
+	// Both vector-space engines scan through the snapshot's SoA block and
+	// a pooled scratch arena: rankings they return alias scr, so results
+	// are copied into []Result below before the deferred Release.
+	scr := topk.NewScratch()
+	defer scr.Release()
 	var (
 		ranking    topk.Ranking
 		candidates int
 	)
 	switch opt.Engine {
 	case EngineMapped:
-		ranking, candidates, err = topk.MappedContext(ctx, s.vectors, qv, alive,
-			plan(opt.K))
+		ranking, candidates, err = topk.MappedTopKContext(ctx, s.vectors,
+			s.soaBlock(ix.mapper.Dim()), qv, alive, opt.K, plan(opt.K), scr)
 	case EngineVerified:
 		factor := opt.VerifyFactor
 		if factor == 0 {
@@ -380,9 +385,10 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 		if opt.MaxCandidates > 0 && wantEstimate > opt.MaxCandidates {
 			wantEstimate = opt.MaxCandidates
 		}
-		ranking, candidates, err = topk.VerifiedContext(ctx, s.db, s.vectors, q, qv,
+		ranking, candidates, err = topk.VerifiedContext(ctx, s.db, s.vectors,
+			s.soaBlock(ix.mapper.Dim()), q, qv,
 			opt.K, factor, opt.MaxCandidates, metric, ix.mcsOpt, alive,
-			plan(wantEstimate))
+			plan(wantEstimate), scr)
 	case EngineExact:
 		ranking, err = topk.ExactContext(ctx, s.db, q, metric, ix.mcsOpt, alive)
 		candidates = len(ranking)

@@ -71,6 +71,13 @@ func (ix *Index) AddContext(ctx context.Context, gs ...*Graph) ([]int, error) {
 		baseN:    cur.baseN,
 		baseDead: cur.baseDead,
 	}
+	// The SoA scan block is maintained incrementally too, but only if a
+	// scan already paid to build it — Append shares every full tile with
+	// the current block. A never-demanded block stays nil and the next
+	// scan packs the whole snapshot once.
+	if b := cur.block.Load(); b != nil {
+		next.block.Store(b.Append(newVecs))
+	}
 	ids := make([]int, len(gs))
 	for i := range gs {
 		ids[i] = len(cur.db) + i
@@ -118,6 +125,9 @@ func (ix *Index) Remove(ids ...int) error {
 		baseN:     cur.baseN,
 		baseDead:  cur.baseDead,
 	}
+	// Removal is not a block event either: the SoA lanes keep the
+	// tombstoned vectors and the scan filters the ids out.
+	next.block.Store(cur.block.Load())
 	for _, id := range ids {
 		next.dead[id] = true
 		if id < next.baseN {

@@ -14,7 +14,9 @@
 //
 // so ranking the unmatched remainder needs only each graph's ones
 // count, pre-bucketed in ascending (ones, id) order. A top-k query then
-// scores the union of the matched posting lists exactly and merges in
+// scores the union of the matched posting lists exactly — via the SoA
+// scan kernel's gather (vecspace.Block.HammingID) when the snapshot
+// carries a packed block, from the vectors otherwise — and merges in
 // the unmatched stream lazily — sublinear in the collection size
 // whenever the matched lists are short, and bit-identical to the flat
 // scan always (see internal/topk).

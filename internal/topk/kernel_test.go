@@ -1,0 +1,213 @@
+package topk
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mcs"
+	"repro/internal/posting"
+	"repro/internal/vecspace"
+)
+
+// The randomized kernel-equivalence property suite: the batched SoA
+// scan (MappedTopKContext, both tile widths, ragged tails, tombstones,
+// Alive filters, pruned plans) must be bit-identical — distances
+// included — to the scalar reference path (MappedContext /
+// HammingDistance / Distance). Every run draws a fresh seed and logs
+// it; replay with
+//
+//	GRAPHDIM_EQUIV_SEED=<seed> go test -run TestKernel ./internal/topk
+func kernelSeed(t *testing.T) int64 {
+	if v := os.Getenv("GRAPHDIM_EQUIV_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("GRAPHDIM_EQUIV_SEED=%q: %v", v, err)
+		}
+		t.Logf("replaying GRAPHDIM_EQUIV_SEED=%d", seed)
+		return seed
+	}
+	seed := time.Now().UnixNano()
+	t.Logf("random run; replay with GRAPHDIM_EQUIV_SEED=%d", seed)
+	return seed
+}
+
+func kernelRandVecs(rng *rand.Rand, n, p int) []*vecspace.BitVector {
+	vs := make([]*vecspace.BitVector, n)
+	for i := range vs {
+		v := vecspace.NewBitVector(p)
+		for r := 0; r < p; r++ {
+			if rng.Intn(4) == 0 {
+				v.Set(r)
+			}
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// randAlive returns a random liveness predicate: nil (admit all) a
+// third of the time, otherwise a random tombstone set — sometimes
+// killing everything.
+func randAlive(rng *rand.Rand, n int) Alive {
+	switch rng.Intn(3) {
+	case 0:
+		return nil
+	case 1:
+		dead := make([]bool, n)
+		for i := range dead {
+			dead[i] = rng.Intn(4) == 0
+		}
+		return func(id int) bool { return !dead[id] }
+	default:
+		return func(id int) bool { return false }
+	}
+}
+
+func assertRankingPrefix(t *testing.T, label string, got, ref Ranking, k int) {
+	t.Helper()
+	if k > len(ref) {
+		k = len(ref)
+	}
+	if len(got) != k {
+		t.Fatalf("%s: got %d results, want %d", label, len(got), k)
+	}
+	for i := range got {
+		if got[i].ID != ref[i].ID || got[i].Score != ref[i].Score {
+			t.Fatalf("%s: result %d = {%d, %v}, want {%d, %v} (bit-identical)",
+				label, i, got[i].ID, got[i].Score, ref[i].ID, ref[i].Score)
+		}
+	}
+}
+
+// TestKernelDistanceEquivalence: batched SoA Hamming counts equal the
+// scalar per-vector counts across random shapes, both widths.
+func TestKernelDistanceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(kernelSeed(t)))
+	for round := 0; round < 60; round++ {
+		n, p := rng.Intn(140), rng.Intn(200)
+		width := 8 << (rng.Intn(2)) // 8 or 16
+		vecs := kernelRandVecs(rng, n, p)
+		q := kernelRandVecs(rng, 1, p)[0]
+		blk := vecspace.PackWidth(vecs, p, width)
+		out := make([]int32, n)
+		blk.HammingInto(q, out)
+		for id, v := range vecs {
+			if want := int32(q.HammingDistance(v)); out[id] != want {
+				t.Fatalf("round %d (n=%d p=%d w=%d): hamming[%d] = %d, want %d",
+					round, n, p, width, id, out[id], want)
+			}
+		}
+	}
+}
+
+// TestKernelTopKEquivalence: the batched top-k scan — flat and pruned,
+// with fresh, Append-extended, stale, and missing blocks, tombstones,
+// Alive filters, and a shared Scratch reused across every round — must
+// return exactly the first k entries of the scalar full ranking.
+func TestKernelTopKEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(kernelSeed(t)))
+	ctx := context.Background()
+	s := NewScratch() // shared across rounds: reuse must not leak state
+	defer s.Release()
+	for round := 0; round < 80; round++ {
+		n, p := rng.Intn(160), 1+rng.Intn(190)
+		if rng.Intn(10) == 0 {
+			p = 0
+		}
+		vecs := kernelRandVecs(rng, n, p)
+		q := kernelRandVecs(rng, 1, p)[0]
+		alive := randAlive(rng, n)
+		k := rng.Intn(n + 3)
+		label := "round " + strconv.Itoa(round) +
+			" n=" + strconv.Itoa(n) + " p=" + strconv.Itoa(p) + " k=" + strconv.Itoa(k)
+
+		// The scalar reference: full ranking, no block, no scratch.
+		ref, refScored, err := MappedContext(ctx, vecs, q, alive, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Block variants: nil (scalar fallback), fresh pack at either
+		// width, a COW Append chain, and a stale block the scan must
+		// refuse.
+		blocks := map[string]*vecspace.Block{
+			"nil":     nil,
+			"w8":      vecspace.PackWidth(vecs, p, 8),
+			"w16":     vecspace.PackWidth(vecs, p, 16),
+			"chained": vecspace.Pack(vecs[:n/2], p).Append(vecs[n/2:]),
+		}
+		if n > 0 {
+			blocks["stale"] = vecspace.Pack(vecs[:n-1], p)
+		}
+		for name, blk := range blocks {
+			scratch := s
+			if rng.Intn(4) == 0 {
+				scratch = nil // the nil-scratch path must behave identically
+			}
+			got, scored, err := MappedTopKContext(ctx, vecs, blk, q, alive, k, nil, scratch)
+			if err != nil {
+				t.Fatalf("%s blk=%s: %v", label, name, err)
+			}
+			if k > 0 && scored != refScored {
+				t.Fatalf("%s blk=%s: scored %d, want %d", label, name, scored, refScored)
+			}
+			assertRankingPrefix(t, label+" flat blk="+name, got, ref, k)
+			if scratch == s {
+				// The ranking aliases the scratch; copy before the next use.
+				got = append(Ranking(nil), got...)
+				assertRankingPrefix(t, label+" flat copy blk="+name, got, ref, k)
+			}
+		}
+
+		// Pruned plan from the real posting index, when its cost model
+		// produces one (sparse queries, small k).
+		if k > 0 && p > 0 {
+			if pl := posting.FromVectors(vecs, p).Plan(q, k); pl != nil {
+				cands := &Candidates{K: k, QueryOnes: pl.QueryOnes, Matched: pl.Matched, Rest: pl.Rest}
+				got, _, err := MappedTopKContext(ctx, vecs, vecspace.PackWidth(vecs, p, 16), q, alive, k, cands, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertRankingPrefix(t, label+" pruned", got, ref, k)
+			}
+		}
+	}
+}
+
+// TestKernelVerifiedBlockEquivalence: VerifiedContext must return the
+// identical ranking with and without the SoA block and scratch — the
+// retrieval stage is the only part the kernel touches.
+func TestKernelVerifiedBlockEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(kernelSeed(t)))
+	ctx := context.Background()
+	db := dataset.Chemical(dataset.ChemConfig{N: 20, MinVertices: 5, MaxVertices: 9, Seed: rng.Int63()})
+	const p = 48
+	vecs := kernelRandVecs(rng, len(db), p)
+	metric := mcs.Delta2
+	opt := mcs.Options{MaxNodes: 3000}
+	blk := vecspace.Pack(vecs, p)
+	s := NewScratch()
+	defer s.Release()
+	for round := 0; round < 6; round++ {
+		q := db[rng.Intn(len(db))]
+		qv := kernelRandVecs(rng, 1, p)[0]
+		k, factor := 1+rng.Intn(6), 1+rng.Intn(3)
+		ref, refN, err := VerifiedContext(ctx, db, vecs, nil, q, qv, k, factor, 0, metric, opt, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotN, err := VerifiedContext(ctx, db, vecs, blk, q, qv, k, factor, 0, metric, opt, nil, nil, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != refN {
+			t.Fatalf("round %d: verified %d candidates with block, %d without", round, gotN, refN)
+		}
+		assertRankingPrefix(t, "verified round "+strconv.Itoa(round), got, ref, len(ref))
+	}
+}

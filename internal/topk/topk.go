@@ -9,7 +9,7 @@ package topk
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/mcs"
@@ -51,13 +51,20 @@ func (r Ranking) RankOf(id int) int {
 	return len(r) + 1
 }
 
-// sortItems orders items ascending by score (ties by id).
+// sortItems orders items ascending by score (ties by id). Ids are
+// distinct, so the comparator is a strict total order and every correct
+// sort yields the same permutation — the engines stay deterministic.
+// slices.SortFunc rather than sort.Slice keeps the hot path free of the
+// reflection-based swapper (and its per-call allocations).
 func sortItems(items []Item) {
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Score != items[j].Score {
-			return items[i].Score < items[j].Score
+	slices.SortFunc(items, func(a, b Item) int {
+		if a.Score != b.Score {
+			if a.Score < b.Score {
+				return -1
+			}
+			return 1
 		}
-		return items[i].ID < items[j].ID
+		return a.ID - b.ID // ids are non-negative: no overflow
 	})
 }
 
@@ -137,7 +144,7 @@ func Mapped(dbVectors []*vecspace.BitVector, qv *vecspace.BitVector) Ranking {
 func MappedContext(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vecspace.BitVector,
 	alive Alive, cands *Candidates) (Ranking, int, error) {
 	if cands != nil && cands.K > 0 {
-		return mappedPruned(ctx, dbVectors, qv, alive, cands)
+		return mappedPruned(ctx, dbVectors, nil, qv, alive, cands, nil)
 	}
 	items := make([]Item, 0, len(dbVectors))
 	for i, v := range dbVectors {
@@ -155,18 +162,109 @@ func MappedContext(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vec
 	return items, len(items), nil
 }
 
+// MappedTopKContext is the batched form of MappedContext for a caller
+// that wants exactly the first k entries of the flat ranking (every
+// Search does): with a plan it runs the pruned merge, without one it
+// streams the SoA block through the width-8/16 popcount kernel and
+// keeps the k best with a bounded heap — never materializing, let
+// alone sorting, the full ranking. Results are bit-identical to
+// MappedContext's first k entries, distances included: the kernel
+// computes the very same integer Hamming counts, the same
+// sqrt(hamming/p) expression scores them, and the packed-key selection
+// order (hamming, id) equals the flat sort's (score, id) order (see
+// scratch.go). blk may be nil or stale (built over a different n or p)
+// — the scan falls back to the scalar vectors, still heap-bounded. s
+// may be nil (buffers are then allocated per call); when non-nil the
+// returned Ranking aliases s and is valid only until its next use or
+// Release. The second return value is the number of ids scored, with
+// the same meaning as MappedContext's.
+func MappedTopKContext(ctx context.Context, dbVectors []*vecspace.BitVector, blk *vecspace.Block,
+	qv *vecspace.BitVector, alive Alive, k int, cands *Candidates, s *Scratch) (Ranking, int, error) {
+	if cands != nil && cands.K > 0 {
+		return mappedPruned(ctx, dbVectors, blk, qv, alive, cands, s)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	if k <= 0 {
+		s.out = s.out[:0]
+		return s.out, 0, nil
+	}
+	n := len(dbVectors)
+	if k > n {
+		k = n
+	}
+	keys := s.keys[:0]
+	scored := 0
+	if blk != nil && blk.N() == n && blk.P() == qv.Len() {
+		// Kernel path: batch all Hamming counts first (pure streaming
+		// arithmetic, cancellation checked between chunks), then select.
+		dists := s.distBuf(n)
+		for lo := 0; lo < n; lo += mappedCtxStride {
+			blk.HammingSlice(qv, lo, lo+mappedCtxStride, dists)
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
+		for id := 0; id < n; id++ {
+			if !admits(alive, id) {
+				continue
+			}
+			scored++
+			keys = pushK(keys, k, uint64(dists[id])<<32|uint64(id))
+		}
+	} else {
+		for id, v := range dbVectors {
+			if id%mappedCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
+			if !admits(alive, id) {
+				continue
+			}
+			scored++
+			keys = pushK(keys, k, uint64(qv.HammingDistance(v))<<32|uint64(id))
+		}
+	}
+	s.keys = keys
+	slices.Sort(keys)
+	p := float64(qv.Len())
+	out := s.out[:0]
+	for _, key := range keys {
+		score := 0.0
+		if p > 0 {
+			score = math.Sqrt(float64(key>>32) / p)
+		}
+		out = append(out, Item{ID: int(uint32(key)), Score: score})
+	}
+	s.out = out
+	return out, scored, nil
+}
+
 // mappedPruned evaluates the pruned plan. Equivalence to the flat scan
 // rests on two facts: (1) a matched id's distance is computed from its
-// vector by the very same expression the flat scan uses; (2) an
-// unmatched id shares no dimension with the query, so its Hamming
-// distance is exactly QueryOnes + ones(id) and distinct ones counts
-// give distinct float64 scores (the gap 1/p dwarfs every rounding
-// error for any p the codec admits), making the (ones, id) stream
-// order equal to the flat scan's (score, id) tie order.
-func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vecspace.BitVector,
-	alive Alive, cands *Candidates) (Ranking, int, error) {
+// vector by the very same expression the flat scan uses — via the SoA
+// kernel's gather when a current block is supplied, which produces the
+// identical integer Hamming count; (2) an unmatched id shares no
+// dimension with the query, so its Hamming distance is exactly
+// QueryOnes + ones(id) and distinct ones counts give distinct float64
+// scores (the gap 1/p dwarfs every rounding error for any p the codec
+// admits), making the (ones, id) stream order equal to the flat scan's
+// (score, id) tie order.
+func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, blk *vecspace.Block,
+	qv *vecspace.BitVector, alive Alive, cands *Candidates, s *Scratch) (Ranking, int, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
 	p := qv.Len()
-	matched := make([]Item, 0, len(cands.Matched))
+	if blk != nil && (blk.N() != len(dbVectors) || blk.P() != p) {
+		blk = nil // stale block: score matched candidates from the vectors
+	}
+	matched := s.items[:0]
 	for j, id := range cands.Matched {
 		if j%mappedCtxStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -176,14 +274,25 @@ func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vecs
 		if !admits(alive, int(id)) {
 			continue
 		}
-		matched = append(matched, Item{ID: int(id), Score: qv.Distance(dbVectors[id])})
+		var h int
+		if blk != nil {
+			h = blk.HammingID(qv, int(id))
+		} else {
+			h = qv.HammingDistance(dbVectors[id])
+		}
+		score := 0.0
+		if p > 0 {
+			score = math.Sqrt(float64(h) / float64(p))
+		}
+		matched = append(matched, Item{ID: int(id), Score: score})
 	}
+	s.items = matched
 	sortItems(matched)
 
 	// Merge the sorted matched items with the score-ordered unmatched
 	// stream, stopping at K results.
 	scored := len(matched)
-	out := make(Ranking, 0, min(cands.K, len(dbVectors)))
+	out := s.out[:0]
 	mi := 0
 	steps := 0
 	var rerr error

@@ -17,7 +17,7 @@ import (
 // EXPERIMENTS.md.
 func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph, qv *vecspace.BitVector,
 	k, factor int, metric mcs.Metric, opt mcs.Options) Ranking {
-	r, _, _ := VerifiedContext(context.Background(), db, dbVectors, q, qv, k, factor, 0, metric, opt, nil, nil)
+	r, _, _ := VerifiedContext(context.Background(), db, dbVectors, nil, q, qv, k, factor, 0, metric, opt, nil, nil, nil)
 	return r
 }
 
@@ -26,15 +26,18 @@ func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph
 // (maxCandidates <= 0 means uncapped), and optional posting-list
 // pruning of the retrieval stage (pruned == nil means the flat scan;
 // pruned.K is overwritten with the candidate count this call needs, so
-// callers leave it zero). The candidate count factor·k is computed in
+// callers leave it zero). blk, when it matches dbVectors, lets the
+// retrieval stage run the batched SoA kernel; s, when non-nil, is the
+// retrieval stage's scratch arena (both may be nil — see
+// MappedTopKContext). The candidate count factor·k is computed in
 // 64-bit arithmetic and clamped to the admitted database size, so a
 // factor "overflowing" the database — or int range — degrades to
 // verifying every admitted graph rather than panicking. ctx is checked
 // before each MCS verification. The second return value is the number
 // of candidates verified with an MCS search.
 func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspace.BitVector,
-	q *graph.Graph, qv *vecspace.BitVector, k, factor, maxCandidates int,
-	metric mcs.Metric, opt mcs.Options, alive Alive, pruned *Candidates) (Ranking, int, error) {
+	blk *vecspace.Block, q *graph.Graph, qv *vecspace.BitVector, k, factor, maxCandidates int,
+	metric mcs.Metric, opt mcs.Options, alive Alive, pruned *Candidates, s *Scratch) (Ranking, int, error) {
 	if k <= 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
@@ -61,26 +64,26 @@ func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspa
 		// every admitted id, if fewer), identical to the flat ranking.
 		pruned.K = int(want)
 	}
-	retrieved, _, err := MappedContext(ctx, dbVectors, qv, alive, pruned)
+	retrieved, _, err := MappedTopKContext(ctx, dbVectors, blk, qv, alive, int(want), pruned, s)
 	if err != nil {
 		return nil, 0, err
 	}
 	if want > int64(len(retrieved)) {
 		want = int64(len(retrieved))
 	}
-	cands := retrieved.TopK(int(want))
-	items := make([]Item, len(cands))
-	for i, id := range cands {
+	items := make([]Item, want)
+	for i := range items {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
 		}
+		id := retrieved[i].ID
 		items[i] = Item{ID: id, Score: metric.DissimilarityBudget(q, db[id], opt)}
 	}
 	sortItems(items)
 	if len(items) > k {
 		items = items[:k]
 	}
-	return items, len(cands), nil
+	return items, int(want), nil
 }
 
 // Similarity ranks the database by any symmetric similarity function

@@ -8,6 +8,7 @@ package vecspace
 import (
 	"context"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/graph"
@@ -54,7 +55,7 @@ func BitVectorFromWords(p int, words []uint64) *BitVector {
 func (v *BitVector) Ones() int {
 	c := 0
 	for _, w := range v.bits {
-		c += popcount(w)
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -63,7 +64,7 @@ func (v *BitVector) Ones() int {
 func (v *BitVector) HammingDistance(o *BitVector) int {
 	c := 0
 	for i := range v.bits {
-		c += popcount(v.bits[i] ^ o.bits[i])
+		c += bits.OnesCount64(v.bits[i] ^ o.bits[i])
 	}
 	return c
 }
@@ -72,7 +73,7 @@ func (v *BitVector) HammingDistance(o *BitVector) int {
 func (v *BitVector) IntersectionSize(o *BitVector) int {
 	c := 0
 	for i := range v.bits {
-		c += popcount(v.bits[i] & o.bits[i])
+		c += bits.OnesCount64(v.bits[i] & o.bits[i])
 	}
 	return c
 }
@@ -82,11 +83,8 @@ func (v *BitVector) IntersectionSize(o *BitVector) int {
 func (v *BitVector) ForEach(fn func(r int)) {
 	for wi, w := range v.bits {
 		for w != 0 {
-			// Isolate and clear the lowest set bit; trailing-zero count
-			// via the popcount of the run of ones below it.
-			low := w & -w
-			fn(wi*64 + popcount(low-1))
-			w &^= low
+			fn(wi*64 + bits.TrailingZeros64(w))
+			w &^= w & -w
 		}
 	}
 }
@@ -99,15 +97,6 @@ func (v *BitVector) Distance(o *BitVector) float64 {
 		return 0
 	}
 	return math.Sqrt(float64(v.HammingDistance(o)) / float64(v.p))
-}
-
-func popcount(x uint64) int {
-	// Hacker's Delight bit-count; stdlib math/bits is allowed but keeping
-	// the dependency footprint minimal is free here.
-	x -= (x >> 1) & 0x5555555555555555
-	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
-	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
-	return int((x * 0x0101010101010101) >> 56)
 }
 
 // Mapper maps graphs onto a fixed feature set F = {f1..fp} by subgraph
