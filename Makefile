@@ -8,7 +8,7 @@ GO        ?= go
 BENCHTIME ?= 1x
 # BENCH_OUT is where the JSON benchmark record lands; bump the suffix per
 # PR to grow the trajectory instead of overwriting it.
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 # COVER_MIN gates `make cover`: the combined statement coverage of the
 # public API package, the posting accelerator, the pipeline stage DAG,
 # the write-ahead log, the replication client, the metrics registry, and
@@ -38,17 +38,18 @@ test:
 # write-ahead log, the metrics registry, and the gserve HTTP layer
 # (ingest streaming and admission control live there).
 cover:
-	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/pipeline ./internal/wal ./internal/repl ./internal/metrics ./cmd/gserve
+	$(GO) test -coverprofile=cover.out ./graphdim ./internal/posting ./internal/pipeline ./internal/segment ./internal/wal ./internal/repl ./internal/metrics ./cmd/gserve
 	@$(GO) tool cover -func=cover.out | awk '$$1 == "total:" { \
 		sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_MIN)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_MIN); exit 1 } \
 		else printf "coverage %.1f%% (floor $(COVER_MIN)%%)\n", $$3 }'
 
 # The concurrency-heavy packages: shard fan-out, compaction swaps, the
-# worker budget, the write-ahead log, the HTTP layer on top of them, and
-# the scan kernel (lazy SoA block publication, pooled scratch arenas).
+# worker budget, the write-ahead log, the HTTP layer on top of them, the
+# scan kernel (lazy SoA block publication, pooled scratch arenas), and
+# the mmap segment layer (shared decoded-graph caches, finalizer unmap).
 race:
-	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pipeline/... ./internal/pool/... ./internal/wal/... ./internal/repl/... ./internal/topk/... ./internal/vecspace/...
+	$(GO) test -race -count=1 ./graphdim/... ./cmd/gserve/... ./internal/pipeline/... ./internal/pool/... ./internal/wal/... ./internal/repl/... ./internal/topk/... ./internal/vecspace/... ./internal/segment/...
 
 vet:
 	$(GO) vet ./...

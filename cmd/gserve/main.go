@@ -136,6 +136,7 @@ func main() {
 		maxWrites = flag.Int("max-inflight-writes", defaultMaxInflightWrites, "per-collection bound on in-flight add/ingest requests; beyond it requests get 429 + Retry-After (negative = unlimited)")
 		follow    = flag.String("follow", "", "run as a read-only replication follower of this primary gserve base URL: bootstrap from its snapshot, tail its WAL, answer writes with 307 (requires -data)")
 		replHB    = flag.Duration("repl-heartbeat", defaultReplHeartbeat, "heartbeat interval on replication WAL tail streams")
+		memory    = flag.String("memory", "auto", "how checkpointed shard segments are served: auto (mmap where the platform supports it), map (explicitly request mmap), heap (rehydrate fully into memory)")
 	)
 	flag.Parse()
 
@@ -153,12 +154,24 @@ func main() {
 	if *rbAlgo != "dspm" && *rbAlgo != "dspmap" {
 		log.Fatalf("rebuild-algo must be dspm or dspmap, got %q", *rbAlgo)
 	}
+	var memMode graphdim.MemoryMode
+	switch *memory {
+	case "auto":
+		memMode = graphdim.MemoryAuto
+	case "map":
+		memMode = graphdim.MemoryMap
+	case "heap":
+		memMode = graphdim.MemoryHeap
+	default:
+		log.Fatalf("memory must be auto, map, or heap, got %q", *memory)
+	}
 
 	// The metrics registry exists before the store: the WAL feeds its
 	// fsync telemetry through StoreOptions at open time.
 	m := newServerMetrics()
 	storeOpts := graphdim.StoreOptions{
 		Workers: *workers,
+		Memory:  memMode,
 		WAL:     graphdim.WALOptions{SyncObserver: m.walObserver()},
 		Compaction: graphdim.CompactionPolicy{
 			StaleThreshold: *threshold,

@@ -237,7 +237,11 @@ func TestCrashRecoveryRandomized(t *testing.T) {
 				tearWAL(t, dir, "c")
 			}
 
-			re, err := OpenStore(dir, StoreOptions{})
+			// Rotate the recovery memory mode so the property holds for
+			// mapped serving (checkpointed base faulted from the segment)
+			// as well as full heap rehydration.
+			mode := [...]MemoryMode{MemoryMap, MemoryHeap, MemoryAuto}[round%3]
+			re, err := OpenStore(dir, StoreOptions{Memory: mode})
 			if err != nil {
 				t.Fatalf("reopen after crash: %v", err)
 			}

@@ -260,10 +260,20 @@ func (o Options) withDefaults(n int) Options {
 // then atomically swap — so any number of readers proceed lock-free while
 // writers are serialized by Index.mu.
 type snapshot struct {
+	// db and vectors always span every id slot, but a snapshot served
+	// from a mapped segment keeps nil placeholders below seg's size:
+	// vectors live packed in the mapping (the block below), and graph
+	// payloads are faulted in on demand through graph/graphAt. Ids added
+	// after the segment was written (WAL replay, Add) overlay as ordinary
+	// heap values. Heap-mode snapshots (seg == nil) have no nils.
 	db        []*Graph
 	vectors   []*vecspace.BitVector
 	dead      []bool
 	deadCount int
+	// seg, when non-nil, is the mapped segment the base of this snapshot
+	// is served from — shared, with its decoded-graph cache, across every
+	// snapshot descended from the same open.
+	seg *segSource
 	// post holds the per-dimension posting lists and ones buckets over
 	// vectors — the candidate-pruning accelerator internal/posting
 	// implements. It always covers exactly the ids of vectors
@@ -273,9 +283,12 @@ type snapshot struct {
 	post *posting.Index
 	// labels holds the per-label inverted lists over db — the pushdown
 	// accelerator for declarative label filters (internal/pipeline).
-	// Same contract as post: covers every id, tombstones filtered by the
-	// scan, extended copy-on-write under the writer lock.
-	labels *posting.LabelIndex
+	// Built lazily by the first filtered query that needs it
+	// (labelIndex), because building it reads every graph — which on a
+	// mapped snapshot would fault in the whole corpus at open. Once
+	// built it is carried copy-on-write like post: Add extends it under
+	// the writer lock, an unbuilt nil just stays lazy.
+	labels atomic.Pointer[posting.LabelIndex]
 	// baseN is how many of the graphs were part of the database the
 	// dimension selection (Build) or persisted file saw; ids >= baseN
 	// entered through Add. baseDead counts the tombstoned ids below
@@ -308,14 +321,78 @@ func (s *snapshot) soaBlock(p int) *vecspace.Block {
 }
 
 // alive adapts the snapshot's tombstones plus an optional caller
-// predicate into the scan filter the query engines take.
+// predicate into the scan filter the query engines take. Predicates
+// resolve graphs through graph(), so on a mapped snapshot a predicate
+// faults in only the payloads of ids that survive the tombstone check.
 func (s *snapshot) alive(pred func(id int, g *Graph) bool) func(int) bool {
 	if s.deadCount == 0 && pred == nil {
 		return nil
 	}
 	return func(id int) bool {
-		return !s.dead[id] && (pred == nil || pred(id, s.db[id]))
+		return !s.dead[id] && (pred == nil || pred(id, s.graph(id)))
 	}
+}
+
+// graph returns graph id, faulting it from the mapped segment on first
+// demand. It is the infallible accessor for paths whose signatures
+// cannot carry an error (predicates, accessors): a payload that cannot
+// be decoded — possible only when the segment file was corrupted after
+// its checkpoint, since open validates the trailer — panics with a
+// descriptive message rather than returning nil into user code. The
+// engines use graphAt and surface the error instead.
+func (s *snapshot) graph(id int) *Graph {
+	if g := s.db[id]; g != nil || s.seg == nil {
+		return g
+	}
+	g, err := s.seg.graphAt(id)
+	if err != nil {
+		panic(fmt.Sprintf("graphdim: %v", err))
+	}
+	return g
+}
+
+// graphAt is graph with the decode error surfaced — the form the
+// verified and exact engines thread through topk.GraphAt so a corrupt
+// mapped payload fails the query, not the process.
+func (s *snapshot) graphAt(id int) (*Graph, error) {
+	if g := s.db[id]; g != nil || s.seg == nil {
+		return g, nil
+	}
+	return s.seg.graphAt(id)
+}
+
+// vectorAt returns id's vector, unpacking it from the SoA block when the
+// snapshot serves vectors from a mapped segment (the block is always
+// materialized there — it IS the mapping).
+func (s *snapshot) vectorAt(id int) *vecspace.BitVector {
+	if v := s.vectors[id]; v != nil {
+		return v
+	}
+	return s.block.Load().Vector(id)
+}
+
+// labelIndex returns the label pushdown index, building it on first
+// demand. The build reads every graph — on a mapped snapshot this is
+// the one operation that faults in the whole corpus, which is why it is
+// deferred to the first query with a label filter rather than done at
+// open. Racing builders may duplicate work; CompareAndSwap publishes
+// exactly one, and Add keeps extending whichever one won.
+func (s *snapshot) labelIndex() *posting.LabelIndex {
+	if l := s.labels.Load(); l != nil {
+		return l
+	}
+	gs := s.db
+	if s.seg != nil {
+		gs = make([]*Graph, len(s.db))
+		for i := range gs {
+			gs[i] = s.graph(i)
+		}
+	}
+	l := posting.LabelsFromGraphs(gs)
+	if s.labels.CompareAndSwap(nil, l) {
+		return l
+	}
+	return s.labels.Load()
 }
 
 // Index is a built graph-dimension index over a database: the selected
@@ -357,9 +434,6 @@ func newIndex(features []*Graph, weights []float64, metric Metric, mcsOpt mcs.Op
 	}
 	if snap.post == nil {
 		snap.post = posting.FromVectors(snap.vectors, len(features))
-	}
-	if snap.labels == nil {
-		snap.labels = posting.LabelsFromGraphs(snap.db)
 	}
 	ix.snap.Store(snap)
 	return ix
@@ -516,8 +590,10 @@ func (ix *Index) Size() int {
 func (ix *Index) TotalGraphs() int { return len(ix.snap.Load().db) }
 
 // Graph returns the graph with id i. Removed graphs remain addressable so
-// historical results can still be resolved; use IsRemoved to check.
-func (ix *Index) Graph(i int) *Graph { return ix.snap.Load().db[i] }
+// historical results can still be resolved; use IsRemoved to check. On a
+// memory-mapped index the payload is decoded from the segment on first
+// access.
+func (ix *Index) Graph(i int) *Graph { return ix.snap.Load().graph(i) }
 
 // IsRemoved reports whether id i has been tombstoned by Remove.
 func (ix *Index) IsRemoved(i int) bool { return ix.snap.Load().dead[i] }

@@ -480,7 +480,10 @@ func writeShardImage(cdir string, i int, img shardImage) (string, []int, error) 
 		return "", nil, err
 	}
 	name := filepath.Base(f.Name())
-	if _, err := img.st.idx.writeSnapshot(f, img.snap, true); err != nil {
+	// Checkpoints always write the v4 segment layout: a mapped reopen
+	// serves the tile section in place, and legacy v3/v2/v1 files keep
+	// loading read-side (openShardIndex sniffs per file).
+	if err := img.st.idx.writeSegment(f, img.snap); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return "", nil, err
@@ -627,16 +630,14 @@ func (s *Store) loadCollection(dir string, cm collectionManifest) (*Collection, 
 	errs := make([]error, cm.Shards)
 	_ = s.budget.ForContext(context.Background(), cm.Shards, func(i int) {
 		errs[i] = func() error {
-			f, err := os.Open(filepath.Join(dir, cm.Name, cm.ShardFiles[i]))
+			// Open by path, not reader: a v4 segment shard under
+			// MemoryAuto/MemoryMap is mmapped in place rather than
+			// streamed through the heap.
+			idx, err := openShardIndex(filepath.Join(dir, cm.Name, cm.ShardFiles[i]), s.memory)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			idx, err := ReadIndex(f)
-			if err != nil {
-				return err
-			}
-			// ReadIndex hands out a full per-CPU worker bound; a shard
+			// The open hands out a full per-CPU worker bound; a shard
 			// gets its per-shard share, like CreateFromIndex's shards.
 			idx.workers = c.shardIdxWorkers()
 			globals := cm.ShardGlobals[i]

@@ -15,10 +15,16 @@ import (
 	"repro/internal/mcs"
 	"repro/internal/pool"
 	"repro/internal/posting"
+	"repro/internal/segment"
 	"repro/internal/vecspace"
 )
 
-// The on-disk index has three formats:
+// The on-disk index has four formats. The current checkpoint layout is
+// v4 — the mmap-able segment format of internal/segment (magic
+// "GDIMIDX4"), written by Index.writeSegment and documented there;
+// ReadIndex loads it onto the heap, and the store's shard opener serves
+// it mapped in place. The three formats below are what WriteTo still
+// writes (v3) and what legacy files look like:
 //
 // v1 (legacy, read-only): a JSON document embedding graphs in the text
 // format and vectors as set-bit lists — grep-able, but ~10× the size of
@@ -134,13 +140,13 @@ func (ix *Index) writeSnapshot(w io.Writer, s *snapshot, postings bool) (int64, 
 	}
 	enc.uvarint(uint64(len(s.db)))
 	enc.uvarint(uint64(s.baseN))
-	for _, g := range s.db {
-		enc.graph(g)
+	for i := range s.db {
+		enc.graph(s.graph(i))
 	}
 	enc.bytes(packBools(s.dead))
 	p := len(ix.features)
-	for _, v := range s.vectors {
-		enc.bytes(packWords(v.Words(), p))
+	for i := range s.vectors {
+		enc.bytes(packWords(s.vectorAt(i).Words(), p))
 	}
 	if postings {
 		enc.byte(1)
@@ -168,12 +174,17 @@ func (ix *Index) writeSnapshot(w io.Writer, s *snapshot, postings bool) (int64, 
 	return cw.n, nil
 }
 
-// ReadIndex loads an index previously written with WriteTo — any
-// format: the current v3 binary layout, the legacy v2 binary layout
-// (postings are rebuilt in memory), or a legacy v1 JSON file.
+// ReadIndex loads an index previously written with WriteTo or a store
+// checkpoint — any format: the v4 segment layout (rehydrated onto the
+// heap; open a Store to serve it mapped), the v3 binary layout, the
+// legacy v2 binary layout (postings are rebuilt in memory), or a legacy
+// v1 JSON file.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(magicV3))
+	if err == nil && bytes.Equal(head, []byte(segment.Magic)) {
+		return readIndexSegment(br)
+	}
 	if err == nil && bytes.Equal(head, []byte(magicV3)) {
 		return readIndexBinary(br, true)
 	}
@@ -411,10 +422,11 @@ func (ix *Index) writeToV1(w io.Writer) error {
 	for _, g := range ix.features {
 		f.Features = append(f.Features, g.String())
 	}
-	for _, g := range s.db {
-		f.DB = append(f.DB, g.String())
+	for i := range s.db {
+		f.DB = append(f.DB, s.graph(i).String())
 	}
-	for _, v := range s.vectors {
+	for i := range s.vectors {
+		v := s.vectorAt(i)
 		bits := []int{}
 		for r := 0; r < v.Len(); r++ {
 			if v.Get(r) {

@@ -186,7 +186,7 @@ func (c *Collection) scanShard(ctx context.Context, i int, pl *pipeline.Plan) (*
 	emit := func(id int) {
 		row := pipeline.Row{ID: st.globals[id]}
 		if needG {
-			row.G = s.db[id]
+			row.G = s.graph(id)
 		}
 		agg.Add(row)
 	}
@@ -207,7 +207,7 @@ func (c *Collection) scanShard(ctx context.Context, i int, pl *pipeline.Plan) (*
 			if id >= m || s.dead[id] {
 				continue
 			}
-			if comp.Residual != nil && !comp.Residual(id, s.db[id]) {
+			if comp.Residual != nil && !comp.Residual(id, s.graph(id)) {
 				continue
 			}
 			emit(id)
@@ -222,7 +222,7 @@ func (c *Collection) scanShard(ctx context.Context, i int, pl *pipeline.Plan) (*
 		if s.dead[id] {
 			continue
 		}
-		if comp.Residual != nil && !comp.Residual(id, s.db[id]) {
+		if comp.Residual != nil && !comp.Residual(id, s.graph(id)) {
 			continue
 		}
 		emit(id)

@@ -146,9 +146,12 @@ func TestFollowerConvergesAndSurvivesRestart(t *testing.T) {
 
 	// Restart the follower: the mirrored log replays over the local
 	// checkpoint and the applier resumes exactly where the mirror ends.
+	// Reopen mapped explicitly: a restarted follower serves its
+	// checkpointed base straight from the shipped segment files while the
+	// mirrored log tail replays on top.
 	ack := rep.AckSeq()
 	fs.Close()
-	fs2, err := OpenStore(fdir, StoreOptions{})
+	fs2, err := OpenStore(fdir, StoreOptions{Memory: MemoryMap})
 	if err != nil {
 		t.Fatalf("reopen follower: %v", err)
 	}

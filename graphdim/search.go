@@ -217,7 +217,8 @@ type SearchResult struct {
 	Engine Engine
 	// Candidates is how many graphs the final ranking stage scored: the
 	// ids the mapped scan actually computed a distance for (the admitted
-	// scan size when the flat scan ran; with posting-list pruning, the
+	// scan size when the flat scan ran, minus whole zones the SoA
+	// block's zone map proved irrelevant; with posting-list pruning, the
 	// matched candidates plus however much of the unmatched stream the
 	// top-K needed — possibly far fewer), the admitted scan size for
 	// EngineExact, and the number of MCS verifications for
@@ -256,9 +257,11 @@ func (s *snapshot) planCandidates(qv *vecspace.BitVector, wantK int, noPrune boo
 }
 
 // catalog exposes the snapshot's pushdown structures to the filter
-// compiler.
+// compiler. It is only called on filtered paths: the label index it
+// resolves is built lazily, and on a mapped snapshot that build is the
+// one whole-corpus fault (see labelIndex).
 func (s *snapshot) catalog() pipeline.Catalog {
-	return pipeline.Catalog{N: len(s.db), Post: s.post, Labels: s.labels}
+	return pipeline.Catalog{N: len(s.db), Post: s.post, Labels: s.labelIndex()}
 }
 
 // composePredicate ANDs a compiled filter residual with a caller
@@ -385,12 +388,12 @@ func (ix *Index) Search(ctx context.Context, q *Graph, opt SearchOptions) (*Sear
 		if opt.MaxCandidates > 0 && wantEstimate > opt.MaxCandidates {
 			wantEstimate = opt.MaxCandidates
 		}
-		ranking, candidates, err = topk.VerifiedContext(ctx, s.db, s.vectors,
+		ranking, candidates, err = topk.VerifiedContext(ctx, s.graphAt, s.vectors,
 			s.soaBlock(ix.mapper.Dim()), q, qv,
 			opt.K, factor, opt.MaxCandidates, metric, ix.mcsOpt, alive,
 			plan(wantEstimate), scr)
 	case EngineExact:
-		ranking, err = topk.ExactContext(ctx, s.db, q, metric, ix.mcsOpt, alive)
+		ranking, err = topk.ExactContext(ctx, len(s.db), s.graphAt, q, metric, ix.mcsOpt, alive)
 		candidates = len(ranking)
 	}
 	if err != nil {

@@ -1,0 +1,326 @@
+package graphdim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/segment"
+)
+
+// snapSeg returns the mapped segment source behind a single collection
+// shard's current snapshot, nil when the shard is served from the heap.
+func snapSeg(c *Collection, shard int) (*snapshot, *segSource) {
+	s := c.shards[shard].state.Load().idx.snap.Load()
+	return s, s.seg
+}
+
+// TestMemoryModeStoreEquivalence is the tentpole equivalence property:
+// a checkpointed store reopened with MemoryHeap, MemoryMap, and
+// MemoryAuto answers every engine — mapped pruned and flat, verified,
+// exact, label-filtered — bit-identically, while the mapped legs serve
+// vectors straight out of the segment file and fault graph payloads in
+// only for final candidates. The data directory is single-owner
+// (flock), so the modes open one after another over the same files.
+func TestMemoryModeStoreEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(equivSeed(t)))
+	idx, db := equivBuild(t, rng, 60)
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	s, err := CreateStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.CreateFromIndex("c", idx, CollectionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutations before the checkpoint land in the segment base;
+	// mutations after it replay from the WAL tail as a heap overlay on
+	// the mapped base.
+	extra := dataset.Synthetic(dataset.SynthConfig{N: 12, AvgEdges: 9, Labels: 5, Seed: rng.Int63()})
+	ids, err := c.Add(ctx, extra[:6]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(ids[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(ctx, extra[6:]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	queries := append([]*Graph{db[rng.Intn(len(db))], extra[2]},
+		dataset.Synthetic(dataset.SynthConfig{N: 2, AvgEdges: 6, Labels: 7, Seed: rng.Int63()})...)
+
+	// A vertex-label filter forces the lazy label index on the mapped
+	// snapshots — the one deliberate whole-corpus fault.
+	var label int
+	vh, _ := db[0].LabelHistogram()
+	for l := range vh {
+		label = int(l)
+		break
+	}
+	opts := []SearchOptions{
+		{K: 7},
+		{K: 7, NoPrune: true},
+		{K: 5, Engine: EngineVerified, VerifyFactor: 2},
+		{K: 4, Engine: EngineExact},
+		{K: 6, Filters: []*pipeline.Filter{{VertexLabels: []pipeline.LabelCount{{Label: label}}}}},
+	}
+
+	open := func(mode MemoryMode) (*Store, *Collection) {
+		t.Helper()
+		st, err := OpenStore(dir, StoreOptions{Memory: mode})
+		if err != nil {
+			t.Fatalf("OpenStore(mode=%d): %v", mode, err)
+		}
+		cc, ok := st.Collection("c")
+		if !ok {
+			t.Fatalf("OpenStore(mode=%d): collection lost", mode)
+		}
+		return st, cc
+	}
+	runAll := func(cc *Collection) [][]Result {
+		t.Helper()
+		out := make([][]Result, 0, len(queries)*len(opts))
+		for qi, q := range queries {
+			for oi, opt := range opts {
+				res, err := cc.Search(ctx, q, opt)
+				if err != nil {
+					t.Fatalf("query %d opt %d: %v", qi, oi, err)
+				}
+				out = append(out, res.Results)
+			}
+		}
+		return out
+	}
+
+	// Heap leg first: the reference rankings.
+	heapS, heapC := open(MemoryHeap)
+	if _, seg := snapSeg(heapC, 0); seg != nil {
+		t.Fatal("MemoryHeap open kept a segment source")
+	}
+	want := runAll(heapC)
+	heapS.Close()
+
+	// Mapped leg: lazy at open, lazy through unfiltered queries,
+	// bit-identical throughout.
+	mapS, mapC := open(MemoryMap)
+	if segment.CanMap() {
+		for sh := 0; sh < 2; sh++ {
+			snap, seg := snapSeg(mapC, sh)
+			if seg == nil {
+				t.Fatalf("MemoryMap shard %d has no segment source", sh)
+			}
+			if !seg.r.Mapped() {
+				t.Fatalf("MemoryMap shard %d segment not mmapped", sh)
+			}
+			for i := range seg.graphs {
+				if snap.db[i] != nil {
+					t.Fatalf("MemoryMap shard %d: base slot %d eagerly decoded at open", sh, i)
+				}
+			}
+		}
+	}
+	// Unfiltered engines only (mapped flat/pruned + verified): after
+	// these, only final candidates may have been faulted in. Exact and
+	// filtered queries legitimately touch everything, so they run after
+	// the check.
+	for qi, q := range queries {
+		for oi, opt := range opts[:3] {
+			res, err := mapC.Search(ctx, q, opt)
+			if err != nil {
+				t.Fatalf("map query %d opt %d: %v", qi, oi, err)
+			}
+			if !reflect.DeepEqual(res.Results, want[qi*len(opts)+oi]) {
+				t.Fatalf("map query %d opt %d diverges from heap:\nmap:  %v\nheap: %v",
+					qi, oi, res.Results, want[qi*len(opts)+oi])
+			}
+		}
+	}
+	if segment.CanMap() {
+		decoded, total := 0, 0
+		for sh := 0; sh < 2; sh++ {
+			_, seg := snapSeg(mapC, sh)
+			total += len(seg.graphs)
+			for i := range seg.graphs {
+				if seg.graphs[i].Load() != nil {
+					decoded++
+				}
+			}
+		}
+		if decoded >= total {
+			t.Fatalf("mapped+verified queries faulted in the whole corpus (%d/%d)", decoded, total)
+		}
+		t.Logf("after mapped+verified queries: %d/%d graph payloads faulted", decoded, total)
+	}
+	if got := runAll(mapC); !reflect.DeepEqual(got, want) {
+		t.Fatal("MemoryMap rankings diverge from MemoryHeap")
+	}
+
+	// The mapped store stays writable: post-open writes overlay the
+	// mapping and the next checkpoint writes a fresh segment from it
+	// (verbatim graph copy for the unmodified base).
+	late := dataset.Synthetic(dataset.SynthConfig{N: 3, AvgEdges: 8, Labels: 5, Seed: rng.Int63()})
+	if _, err := mapC.Add(ctx, late...); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapS.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint over mapped base: %v", err)
+	}
+	wantStats := mapC.Stats()
+	want2 := runAll(mapC)
+	mapS.Close()
+
+	// Auto leg reopens the segment the mapped leg just checkpointed and
+	// must agree on content and every ranking.
+	autoS, autoC := open(MemoryAuto)
+	defer autoS.Close()
+	if gs := autoC.Stats(); gs.NextID != wantStats.NextID || gs.Live != wantStats.Live {
+		t.Fatalf("auto reopen stats %+v, mapped leg had %+v", gs, wantStats)
+	}
+	if got := runAll(autoC); !reflect.DeepEqual(got, want2) {
+		t.Fatal("MemoryAuto rankings diverge from the mapped leg's post-write state")
+	}
+}
+
+// TestOpenStoreRejectsTornSegment: a shard segment torn mid-trailer —
+// the shape a crashed checkpoint or truncated copy leaves behind — must
+// fail the open with an error, in every memory mode, not serve garbage.
+func TestOpenStoreRejectsTornSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(equivSeed(t)))
+	idx, _ := equivBuild(t, rng, 20)
+	dir := t.TempDir()
+	s, err := CreateStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateFromIndex("c", idx, CollectionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	shards, err := filepath.Glob(filepath.Join(dir, "c", "shard-*.gdx"))
+	if err != nil || len(shards) == 0 {
+		t.Fatalf("no shard files found: %v", err)
+	}
+	st, err := os.Stat(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func() error) {
+		t.Helper()
+		if err := mutate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []MemoryMode{MemoryAuto, MemoryMap, MemoryHeap} {
+			if got, err := OpenStore(dir, StoreOptions{Memory: mode}); err == nil {
+				got.Close()
+				t.Fatalf("%s: OpenStore(mode=%d) accepted a corrupt segment", name, mode)
+			}
+		}
+		if err := os.WriteFile(shards[0], pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt("torn mid-trailer", func() error {
+		return os.Truncate(shards[0], st.Size()-40)
+	})
+	corrupt("truncated to half", func() error {
+		return os.Truncate(shards[0], st.Size()/2)
+	})
+	corrupt("trailer bit flip", func() error {
+		f, err := os.OpenFile(shards[0], os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.WriteAt([]byte{pristine[st.Size()-20] ^ 0x40}, st.Size()-20)
+		return err
+	})
+
+	// And the pristine file must still open — the corruptions above, not
+	// the restore, were what failed.
+	re, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("pristine reopen: %v", err)
+	}
+	re.Close()
+}
+
+// TestReadIndexSegmentRoundTrip covers the io.Reader leg (generic
+// ReadIndex — the portable, heap-only path every platform has): a v4
+// segment streamed through a pipe-shaped reader must rehydrate to an
+// index that answers exactly like its source.
+func TestReadIndexSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(equivSeed(t)))
+	idx, db := equivBuild(t, rng, 30)
+	if _, err := idx.Add(dataset.Synthetic(dataset.SynthConfig{N: 4, AvgEdges: 8, Labels: 5, Seed: rng.Int63()})...); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(1, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := idx.writeSegment(&buf, idx.snap.Load()); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.TotalGraphs() != idx.TotalGraphs() || re.Size() != idx.Size() {
+		t.Fatalf("rehydrated %d total/%d live, want %d/%d", re.TotalGraphs(), re.Size(), idx.TotalGraphs(), idx.Size())
+	}
+	if re.snap.Load().seg != nil {
+		t.Fatal("ReadIndex kept a segment source; the reader leg must be fully heap-resident")
+	}
+	ctx := context.Background()
+	queries := append([]*Graph{db[3]}, dataset.Synthetic(dataset.SynthConfig{N: 2, AvgEdges: 6, Labels: 7, Seed: rng.Int63()})...)
+	for qi, q := range queries {
+		for _, opt := range []SearchOptions{
+			{K: 6},
+			{K: 6, NoPrune: true},
+			{K: 4, Engine: EngineVerified, VerifyFactor: 2},
+			{K: 3, Engine: EngineExact},
+		} {
+			want, err := idx.Search(ctx, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := re.Search(ctx, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Results, want.Results) {
+				t.Fatalf("query %d %s: rehydrated ranking diverges:\ngot:  %v\nwant: %v", qi, fmt.Sprint(opt.Engine), got.Results, want.Results)
+			}
+		}
+	}
+}

@@ -39,8 +39,10 @@ type Store struct {
 	// dir is the data directory of a durable store ("" = in-memory only);
 	// walOpt configures the per-collection write-ahead logs under it, and
 	// checkpoints counts completed Checkpoint calls. See durable.go.
+	// memory is how checkpointed segments are served (StoreOptions.Memory).
 	dir         string
 	walOpt      WALOptions
+	memory      MemoryMode
 	checkpoints atomic.Int64
 	// lock is the data directory's single-owner flock file, nil for
 	// in-memory and read-only (WAL-disabled) stores; released by Close.
@@ -109,7 +111,33 @@ type StoreOptions struct {
 	// CreateStore, OpenOrCreateStore); NewStore ignores it — a store
 	// without a data directory has nowhere to log.
 	WAL WALOptions
+	// Memory selects how a durable store serves checkpointed shard data:
+	// mapped read-only from v4 segment files (the default where the
+	// platform supports it — vectors, graph payloads, and posting lists
+	// stay in the page cache and fault in on demand, so a collection can
+	// exceed RAM) or fully rehydrated onto the heap. See MemoryMode.
+	// NewStore ignores it; checkpoints predating the segment format
+	// always load via the heap path regardless.
+	Memory MemoryMode
 }
+
+// MemoryMode selects heap vs mmap serving of checkpointed segments.
+type MemoryMode int
+
+const (
+	// MemoryAuto maps v4 segment checkpoints read-only where the
+	// platform supports mmap (see segment.CanMap) and falls back to the
+	// heap elsewhere — the default.
+	MemoryAuto MemoryMode = iota
+	// MemoryMap requests mapped serving explicitly. On a platform
+	// without mmap support it degrades to the heap (the portable
+	// fallback), identical answers at heap-resident cost.
+	MemoryMap
+	// MemoryHeap rehydrates every checkpoint onto the heap — the legacy
+	// behavior, and the mode to pick when the data directory lives on a
+	// filesystem with poor mmap semantics (some network mounts).
+	MemoryHeap
+)
 
 // NewStore returns an empty store and, if the policy has an interval,
 // starts its background compactor. Close stops it.
@@ -119,6 +147,7 @@ func NewStore(opt StoreOptions) *Store {
 		policy:      opt.Compaction,
 		onComp:      opt.OnCompaction,
 		walOpt:      opt.WAL,
+		memory:      opt.Memory,
 		collections: make(map[string]*Collection),
 		creating:    make(map[string]bool),
 		stop:        make(chan struct{}),
@@ -388,8 +417,8 @@ func (s *Store) CreateFromIndex(name string, src *Index, opt CollectionOptions) 
 	parts := make([]acc, nsh)
 	for id := range snap.db {
 		p := &parts[placeID(id, nsh)]
-		p.db = append(p.db, snap.db[id])
-		p.vectors = append(p.vectors, snap.vectors[id])
+		p.db = append(p.db, snap.graph(id))
+		p.vectors = append(p.vectors, snap.vectorAt(id))
 		p.dead = append(p.dead, snap.dead[id])
 		if snap.dead[id] {
 			p.deadCount++

@@ -62,19 +62,26 @@ func (ix *Index) AddContext(ctx context.Context, gs ...*Graph) ([]int, error) {
 		vectors:   append(append(make([]*vecspace.BitVector, 0, len(cur.vectors)+len(gs)), cur.vectors...), newVecs...),
 		dead:      append(append(make([]bool, 0, len(cur.dead)+len(gs)), cur.dead...), make([]bool, len(gs))...),
 		deadCount: cur.deadCount,
+		seg:       cur.seg,
 		// Posting maintenance is incremental: the new ids are the highest
 		// yet, so appending keeps every per-dimension list sorted. The
 		// linear snapshot chain Append requires is exactly what ix.mu
 		// enforces.
 		post:     cur.post.Append(newVecs),
-		labels:   cur.labels.Append(gs),
 		baseN:    cur.baseN,
 		baseDead: cur.baseDead,
 	}
+	// The label index is lazy: extend it only if a filtered query already
+	// paid to build it; otherwise it stays nil and lazy.
+	if l := cur.labels.Load(); l != nil {
+		next.labels.Store(l.Append(gs))
+	}
 	// The SoA scan block is maintained incrementally too, but only if a
 	// scan already paid to build it — Append shares every full tile with
-	// the current block. A never-demanded block stays nil and the next
-	// scan packs the whole snapshot once.
+	// the current block (which on a mapped snapshot aliases the segment
+	// file: Append never writes a shared tile, so the overlay is pure
+	// copy-on-write on top of the read-only mapping). A never-demanded
+	// block stays nil and the next scan packs the whole snapshot once.
 	if b := cur.block.Load(); b != nil {
 		next.block.Store(b.Append(newVecs))
 	}
@@ -120,14 +127,15 @@ func (ix *Index) Remove(ids ...int) error {
 		vectors:   cur.vectors,
 		dead:      append([]bool(nil), cur.dead...),
 		deadCount: cur.deadCount + len(ids),
+		seg:       cur.seg,
 		post:      cur.post,
-		labels:    cur.labels,
 		baseN:     cur.baseN,
 		baseDead:  cur.baseDead,
 	}
 	// Removal is not a block event either: the SoA lanes keep the
 	// tombstoned vectors and the scan filters the ids out.
 	next.block.Store(cur.block.Load())
+	next.labels.Store(cur.labels.Load())
 	for _, id := range ids {
 		next.dead[id] = true
 		if id < next.baseN {

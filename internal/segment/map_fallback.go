@@ -1,0 +1,13 @@
+//go:build !unix
+
+package segment
+
+// CanMap reports whether this platform (and build) supports read-only
+// memory-mapped segment opens. Here it does not: Open with Options.Map
+// silently reads the file into the heap instead — same Reader, same
+// answers, RAM-resident.
+func CanMap() bool { return false }
+
+func openBytes(path string, wantMap bool) ([]byte, bool, func() error, error) {
+	return readHeapBytes(path)
+}

@@ -1,0 +1,63 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"syscall"
+)
+
+// CanMap reports whether this platform (and build) supports read-only
+// memory-mapped segment opens.
+func CanMap() bool { return true }
+
+// mapping owns one mmap'd region. The finalizer backstops Close for
+// readers that are dropped without one: graphdim snapshots alias tiles
+// out of the mapping with unbounded lifetimes, so nothing in the store
+// can know when an explicit unmap is safe — the GC can, because the
+// aliases keep the mapping (via the reader's closer) reachable.
+type mapping struct {
+	once sync.Once
+	data []byte
+}
+
+func (m *mapping) unmap() error {
+	var err error
+	m.once.Do(func() {
+		runtime.SetFinalizer(m, nil)
+		err = syscall.Munmap(m.data)
+	})
+	return err
+}
+
+// openBytes returns the file's bytes, preferring a read-only shared
+// mapping when wantMap is set. Tiny files (smaller than any valid
+// segment) and mmap failures fall back to a heap read — the caller's
+// Reader behaves identically either way.
+func openBytes(path string, wantMap bool) ([]byte, bool, func() error, error) {
+	if !wantMap {
+		return readHeapBytes(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, nil, err
+	}
+	size := st.Size()
+	if size < int64(len(Magic)+trailerSize) || size != int64(int(size)) {
+		return readHeapBytes(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readHeapBytes(path)
+	}
+	m := &mapping{data: data}
+	runtime.SetFinalizer(m, (*mapping).unmap)
+	return data, true, m.unmap, nil
+}

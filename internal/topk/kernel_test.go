@@ -153,8 +153,11 @@ func TestKernelTopKEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s blk=%s: %v", label, name, err)
 			}
-			if k > 0 && scored != refScored {
-				t.Fatalf("%s blk=%s: scored %d, want %d", label, name, scored, refScored)
+			// Zone maps let a block scan skip whole zones the heap bound
+			// already rules out, so scored may come in under the scalar
+			// reference — never over, and never under what was returned.
+			if k > 0 && (scored > refScored || scored < len(got)) {
+				t.Fatalf("%s blk=%s: scored %d outside [%d, %d]", label, name, scored, len(got), refScored)
 			}
 			assertRankingPrefix(t, label+" flat blk="+name, got, ref, k)
 			if scratch == s {
@@ -197,11 +200,11 @@ func TestKernelVerifiedBlockEquivalence(t *testing.T) {
 		q := db[rng.Intn(len(db))]
 		qv := kernelRandVecs(rng, 1, p)[0]
 		k, factor := 1+rng.Intn(6), 1+rng.Intn(3)
-		ref, refN, err := VerifiedContext(ctx, db, vecs, nil, q, qv, k, factor, 0, metric, opt, nil, nil, nil)
+		ref, refN, err := VerifiedContext(ctx, SliceGraphs(db), vecs, nil, q, qv, k, factor, 0, metric, opt, nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, gotN, err := VerifiedContext(ctx, db, vecs, blk, q, qv, k, factor, 0, metric, opt, nil, nil, s)
+		got, gotN, err := VerifiedContext(ctx, SliceGraphs(db), vecs, blk, q, qv, k, factor, 0, metric, opt, nil, nil, s)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,10 +13,12 @@ import "sync"
 // MappedTopKContext alias s.out and stay valid only until the next use
 // or Release; callers copy what they keep.
 type Scratch struct {
-	dists []int32  // per-id Hamming counts (flat kernel scan)
-	keys  []uint64 // bounded max-heap of packed (hamming, id) keys
-	items []Item   // matched-candidate staging (pruned path)
-	out   Ranking  // result staging returned to the caller
+	dists  []int32  // per-id Hamming counts (kernel scans)
+	keys   []uint64 // bounded max-heap of packed (hamming, id) keys
+	items  []Item   // matched-candidate staging (pruned path)
+	out    Ranking  // result staging returned to the caller
+	ids    []int32  // alive matched-candidate ids (pruned path)
+	gather []uint64 // gather tile for Block.HammingGather
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

@@ -79,20 +79,26 @@ func admits(alive Alive, id int) bool { return alive == nil || alive(id) }
 // the ground-truth engine. opt bounds each MCS search (Options{} = fully
 // exact).
 func Exact(db []*graph.Graph, q *graph.Graph, metric mcs.Metric, opt mcs.Options) Ranking {
-	r, _ := ExactContext(context.Background(), db, q, metric, opt, nil)
+	r, _ := ExactContext(context.Background(), len(db), SliceGraphs(db), q, metric, opt, nil)
 	return r
 }
 
-// ExactContext is Exact restricted to the ids admitted by alive, with
-// cancellation checked before each MCS search (the expensive unit).
-func ExactContext(ctx context.Context, db []*graph.Graph, q *graph.Graph, metric mcs.Metric,
+// ExactContext is Exact over database ids [0, n) resolved through
+// graphAt (see GraphAt — a mapped store decodes payloads on demand),
+// restricted to the ids admitted by alive, with cancellation checked
+// before each MCS search (the expensive unit).
+func ExactContext(ctx context.Context, n int, graphAt GraphAt, q *graph.Graph, metric mcs.Metric,
 	opt mcs.Options, alive Alive) (Ranking, error) {
-	items := make([]Item, 0, len(db))
-	for i, g := range db {
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
 		if !admits(alive, i) {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g, err := graphAt(i)
+		if err != nil {
 			return nil, err
 		}
 		items = append(items, Item{ID: i, Score: metric.DissimilarityBudget(q, g, opt)})
@@ -176,8 +182,10 @@ func MappedContext(ctx context.Context, dbVectors []*vecspace.BitVector, qv *vec
 // — the scan falls back to the scalar vectors, still heap-bounded. s
 // may be nil (buffers are then allocated per call); when non-nil the
 // returned Ranking aliases s and is valid only until its next use or
-// Release. The second return value is the number of ids scored, with
-// the same meaning as MappedContext's.
+// Release. The second return value is the number of ids the scan
+// actually computed a distance for — at most MappedContext's count, and
+// smaller whenever the block's zone map proved whole zones irrelevant
+// (see zoneSkips); the rankings are identical regardless.
 func MappedTopKContext(ctx context.Context, dbVectors []*vecspace.BitVector, blk *vecspace.Block,
 	qv *vecspace.BitVector, alive Alive, k int, cands *Candidates, s *Scratch) (Ranking, int, error) {
 	if cands != nil && cands.K > 0 {
@@ -200,21 +208,37 @@ func MappedTopKContext(ctx context.Context, dbVectors []*vecspace.BitVector, blk
 	keys := s.keys[:0]
 	scored := 0
 	if blk != nil && blk.N() == n && blk.P() == qv.Len() {
-		// Kernel path: batch all Hamming counts first (pure streaming
-		// arithmetic, cancellation checked between chunks), then select.
+		// Kernel path: one zone (vecspace.ZoneSpan ids) at a time, heap
+		// live, so the zone map can prove whole zones irrelevant before a
+		// single tile is touched. The skip is exact (see zoneSkips): the
+		// results are bit-identical to a scan with no zone map — only
+		// `scored` (a diagnostic) shrinks.
+		zones := blk.Zones()
+		qw, qOnes := qv.Words(), qv.Ones()
 		dists := s.distBuf(n)
-		for lo := 0; lo < n; lo += mappedCtxStride {
-			blk.HammingSlice(qv, lo, lo+mappedCtxStride, dists)
-			if err := ctx.Err(); err != nil {
-				return nil, 0, err
+		for lo := 0; lo < n; lo += vecspace.ZoneSpan {
+			zi := lo / vecspace.ZoneSpan
+			if zi%zoneCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
 			}
-		}
-		for id := 0; id < n; id++ {
-			if !admits(alive, id) {
+			if zones != nil && len(keys) == k &&
+				zones.LowerBound(qOnes, qw, zi) >= int(keys[0]>>32) {
 				continue
 			}
-			scored++
-			keys = pushK(keys, k, uint64(dists[id])<<32|uint64(id))
+			hi := lo + vecspace.ZoneSpan
+			if hi > n {
+				hi = n
+			}
+			blk.HammingSlice(qv, lo, hi, dists)
+			for id := lo; id < hi; id++ {
+				if !admits(alive, id) {
+					continue
+				}
+				scored++
+				keys = pushK(keys, k, uint64(dists[id])<<32|uint64(id))
+			}
 		}
 	} else {
 		for id, v := range dbVectors {
@@ -245,8 +269,19 @@ func MappedTopKContext(ctx context.Context, dbVectors []*vecspace.BitVector, blk
 	return out, scored, nil
 }
 
+// zoneSkips documents why skipping a zone whose lower bound reaches the
+// heap's worst kept Hamming count is exact. With the heap full, a new
+// candidate enters only when its packed key (hamming<<32 | id) is
+// strictly below the root's. Every id in an unvisited zone is greater
+// than every id already in the heap (both scans visit ids ascending), so
+// a zone candidate with hamming equal to the root's count packs a key
+// above the root — a rejected tie — and one with a greater count is
+// rejected outright. LowerBound proves no zone member has a smaller
+// count, hence no member can displace anything: the skip changes no
+// result, only the work done.
+//
 // mappedPruned evaluates the pruned plan. Equivalence to the flat scan
-// rests on two facts: (1) a matched id's distance is computed from its
+// rests on three facts: (1) a matched id's distance is computed from its
 // vector by the very same expression the flat scan uses — via the SoA
 // kernel's gather when a current block is supplied, which produces the
 // identical integer Hamming count; (2) an unmatched id shares no
@@ -254,7 +289,10 @@ func MappedTopKContext(ctx context.Context, dbVectors []*vecspace.BitVector, blk
 // QueryOnes + ones(id) and distinct ones counts give distinct float64
 // scores (the gap 1/p dwarfs every rounding error for any p the codec
 // admits), making the (ones, id) stream order equal to the flat scan's
-// (score, id) tie order.
+// (score, id) tie order; (3) the merge emits at most K items, so only
+// the (score, id)-first K matched candidates can ever reach the output —
+// bounding the matched stage with the same heap the flat scan uses keeps
+// exactly those, and zone skips are exact per zoneSkips.
 func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, blk *vecspace.Block,
 	qv *vecspace.BitVector, alive Alive, cands *Candidates, s *Scratch) (Ranking, int, error) {
 	if s == nil {
@@ -264,34 +302,75 @@ func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, blk *vec
 	if blk != nil && (blk.N() != len(dbVectors) || blk.P() != p) {
 		blk = nil // stale block: score matched candidates from the vectors
 	}
-	matched := s.items[:0]
+	ids := s.ids[:0]
 	for j, id := range cands.Matched {
 		if j%mappedCtxStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
 		}
-		if !admits(alive, int(id)) {
-			continue
+		if admits(alive, int(id)) {
+			ids = append(ids, id)
 		}
-		var h int
-		if blk != nil {
-			h = blk.HammingID(qv, int(id))
-		} else {
-			h = qv.HammingDistance(dbVectors[id])
+	}
+	s.ids = ids
+	keys := s.keys[:0]
+	scored := 0
+	if blk != nil {
+		// Kernel path: group the (ascending) candidate list by zone, let
+		// the zone map skip hopeless groups, gather the rest through the
+		// batched kernel.
+		zones := blk.Zones()
+		qw, qOnes := qv.Words(), qv.Ones()
+		dists := s.distBuf(len(ids))
+		for start, group := 0, 0; start < len(ids); group++ {
+			zi := int(ids[start]) / vecspace.ZoneSpan
+			end := start + 1
+			for end < len(ids) && int(ids[end])/vecspace.ZoneSpan == zi {
+				end++
+			}
+			if group%zoneCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
+			if zones != nil && len(keys) == cands.K &&
+				zones.LowerBound(qOnes, qw, zi) >= int(keys[0]>>32) {
+				start = end
+				continue
+			}
+			s.gather = blk.HammingGather(qv, ids[start:end], s.gather, dists[:end-start])
+			for i, id := range ids[start:end] {
+				keys = pushK(keys, cands.K, uint64(dists[i])<<32|uint64(id))
+			}
+			scored += end - start
+			start = end
 		}
+	} else {
+		for j, id := range ids {
+			if j%mappedCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
+			keys = pushK(keys, cands.K, uint64(qv.HammingDistance(dbVectors[id]))<<32|uint64(id))
+		}
+		scored = len(ids)
+	}
+	s.keys = keys
+	slices.Sort(keys)
+	matched := s.items[:0]
+	for _, key := range keys {
 		score := 0.0
 		if p > 0 {
-			score = math.Sqrt(float64(h) / float64(p))
+			score = math.Sqrt(float64(key>>32) / float64(p))
 		}
-		matched = append(matched, Item{ID: int(id), Score: score})
+		matched = append(matched, Item{ID: int(uint32(key)), Score: score})
 	}
 	s.items = matched
-	sortItems(matched)
 
 	// Merge the sorted matched items with the score-ordered unmatched
 	// stream, stopping at K results.
-	scored := len(matched)
 	out := s.out[:0]
 	mi := 0
 	steps := 0
@@ -331,6 +410,11 @@ func mappedPruned(ctx context.Context, dbVectors []*vecspace.BitVector, blk *vec
 }
 
 const mappedCtxStride = 4096
+
+// zoneCtxStride is how many zones the kernel paths process between
+// cancellation checks: 16 zones × ZoneSpan ids = the same 4096-id cadence
+// as mappedCtxStride when nothing skips.
+const zoneCtxStride = 16
 
 // Tanimoto ranks the database by descending Tanimoto similarity of
 // fingerprints — the PubChem-style benchmark engine. Scores are stored as

@@ -17,8 +17,20 @@ import (
 // EXPERIMENTS.md.
 func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph, qv *vecspace.BitVector,
 	k, factor int, metric mcs.Metric, opt mcs.Options) Ranking {
-	r, _, _ := VerifiedContext(context.Background(), db, dbVectors, nil, q, qv, k, factor, 0, metric, opt, nil, nil, nil)
+	r, _, _ := VerifiedContext(context.Background(), SliceGraphs(db), dbVectors, nil, q, qv, k, factor, 0, metric, opt, nil, nil, nil)
 	return r
+}
+
+// GraphAt resolves a database id to its graph payload. The mapped-
+// segment store decodes the payload from the segment on demand — the
+// verified and exact engines fault in only the graphs they actually
+// verify, which for the verified engine is its final candidate set, not
+// the corpus.
+type GraphAt func(id int) (*graph.Graph, error)
+
+// SliceGraphs adapts an in-heap graph slice to a GraphAt.
+func SliceGraphs(db []*graph.Graph) GraphAt {
+	return func(id int) (*graph.Graph, error) { return db[id], nil }
 }
 
 // VerifiedContext is Verified with cancellation, an optional liveness
@@ -35,7 +47,7 @@ func Verified(db []*graph.Graph, dbVectors []*vecspace.BitVector, q *graph.Graph
 // verifying every admitted graph rather than panicking. ctx is checked
 // before each MCS verification. The second return value is the number
 // of candidates verified with an MCS search.
-func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspace.BitVector,
+func VerifiedContext(ctx context.Context, graphAt GraphAt, dbVectors []*vecspace.BitVector,
 	blk *vecspace.Block, q *graph.Graph, qv *vecspace.BitVector, k, factor, maxCandidates int,
 	metric mcs.Metric, opt mcs.Options, alive Alive, pruned *Candidates, s *Scratch) (Ranking, int, error) {
 	if k <= 0 {
@@ -77,7 +89,11 @@ func VerifiedContext(ctx context.Context, db []*graph.Graph, dbVectors []*vecspa
 			return nil, 0, err
 		}
 		id := retrieved[i].ID
-		items[i] = Item{ID: id, Score: metric.DissimilarityBudget(q, db[id], opt)}
+		g, err := graphAt(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		items[i] = Item{ID: id, Score: metric.DissimilarityBudget(q, g, opt)}
 	}
 	sortItems(items)
 	if len(items) > k {

@@ -28,6 +28,12 @@ type Block struct {
 	words int // (p+63)/64
 	width int // vectors per tile: 8 or 16
 	tiles [][]uint64
+	// zones is the per-ZoneSpan skip metadata (ones-count min/max plus a
+	// dimension-presence bitmap) the bounded top-k scan consults before
+	// touching a zone's tiles. Derived from the tiles — Pack and Append
+	// maintain it, BlockFromWords may adopt a precomputed one from a
+	// segment trailer — and never part of any durable record.
+	zones *ZoneMap
 }
 
 // DefaultBlockWidth is the tile width Pack uses: 16 graphs per inner
@@ -51,7 +57,40 @@ func PackWidth(vecs []*BitVector, p, width int) *Block {
 		panic("vecspace: block width must be 8 or 16")
 	}
 	b := &Block{p: p, words: (p + 63) / 64, width: width}
+	b.zones = deriveZones(b, nil, 0)
 	return b.Append(vecs)
+}
+
+// BlockFromWords builds a Block whose tiles are subslices of data —
+// zero-copy adoption of an on-disk tile section (internal/segment maps a
+// checkpoint and hands the words straight to the kernel). data holds
+// ceil(n/width) tiles of words·width uint64s each, in exactly the layout
+// Pack produces, and must never be written afterwards: Append already
+// treats full tiles as shared/immutable, and the trailing partial tile
+// (the only one Append would touch) is copied to the heap before any
+// lane is filled. zones may be nil, in which case the map is derived
+// from the tiles.
+func BlockFromWords(n, p, width int, data []uint64, zones *ZoneMap) *Block {
+	if width != 8 && width != 16 {
+		panic("vecspace: block width must be 8 or 16")
+	}
+	words := (p + 63) / 64
+	stride := words * width
+	nt := (n + width - 1) / width
+	if len(data) != nt*stride {
+		panic("vecspace: tile data length mismatch")
+	}
+	b := &Block{n: n, p: p, words: words, width: width, tiles: make([][]uint64, nt)}
+	for t := 0; t < nt; t++ {
+		// Cap-clipped so an append can never scribble past a tile into
+		// the next one (mapped tiles are read-only).
+		b.tiles[t] = data[t*stride : (t+1)*stride : (t+1)*stride]
+	}
+	if zones == nil {
+		zones = deriveZones(b, nil, 0)
+	}
+	b.zones = zones
+	return b
 }
 
 // N returns the number of vectors packed.
@@ -62,6 +101,26 @@ func (b *Block) P() int { return b.p }
 
 // Width returns the tile width (vectors per inner kernel iteration).
 func (b *Block) Width() int { return b.width }
+
+// Words returns the number of 64-bit words each packed vector spans.
+func (b *Block) Words() int { return b.words }
+
+// Tiles returns the number of tiles.
+func (b *Block) Tiles() int { return len(b.tiles) }
+
+// Tile returns tile t's packed words — read-only, for serialization.
+func (b *Block) Tile(t int) []uint64 { return b.tiles[t] }
+
+// Zones returns the block's zone map (nil only on a WithoutZones copy).
+func (b *Block) Zones() *ZoneMap { return b.zones }
+
+// WithoutZones returns a view of b with no zone map, so benchmarks can
+// measure the scan with data skipping ablated. The tiles are shared.
+func (b *Block) WithoutZones() *Block {
+	c := *b
+	c.zones = nil
+	return &c
+}
 
 // Append returns a Block extended with vecs as ids [N, N+len(vecs)).
 // Full tiles of the receiver are shared, the trailing partial tile (if
@@ -96,6 +155,10 @@ func (b *Block) Append(vecs []*BitVector) *Block {
 			tile[w*b.width+j] = word
 		}
 	}
+	// Zone metadata is maintained incrementally like the tiles: zones
+	// entirely below the old N are shared facts, only the trailing
+	// partial zone and the new ids' zones are recomputed.
+	next.zones = deriveZones(next, b.zones, b.n)
 	return next
 }
 
@@ -184,6 +247,61 @@ func (b *Block) hamming16(qw []uint64, lo, hi int, out []int32) {
 		}
 		copy(out[base:base+n], acc[:n])
 	}
+}
+
+// HammingGather computes the Hamming distance between q and each of the
+// listed packed vectors, writing out[i] for ids[i] — the batched form of
+// per-id HammingID calls for the pruned scan's matched-candidate lists.
+// Candidate rows are gathered Width at a time into the contiguous
+// scratch tile and then run through the same bounds-check-free inner
+// loop as the flat kernel, so a long candidate list pays the gather
+// (pure copies) instead of Width separate strided walks with per-access
+// bounds checks. Counts are bit-identical to HammingID's.
+//
+// scratch is the gather tile; if its capacity is below Words()*Width()
+// a fresh one is allocated. The (possibly grown) scratch is returned so
+// callers can pool it.
+func (b *Block) HammingGather(q *BitVector, ids []int32, scratch []uint64, out []int32) []uint64 {
+	stride := b.words * b.width
+	if cap(scratch) < stride {
+		scratch = make([]uint64, stride)
+	}
+	g := scratch[:stride]
+	for base := 0; base < len(ids); base += b.width {
+		m := len(ids) - base
+		if m > b.width {
+			m = b.width
+		}
+		for j := 0; j < m; j++ {
+			id := int(ids[base+j])
+			tile := b.tiles[id/b.width]
+			col := id % b.width
+			for w := 0; w < b.words; w++ {
+				g[w*b.width+j] = tile[w*b.width+col]
+			}
+		}
+		switch b.width {
+		case 16:
+			var acc [16]int32
+			for w, qw := range q.bits {
+				row := (*[16]uint64)(g[w*16:])
+				for j := 0; j < 16; j++ {
+					acc[j] += int32(bits.OnesCount64(qw ^ row[j]))
+				}
+			}
+			copy(out[base:base+m], acc[:m])
+		default:
+			var acc [8]int32
+			for w, qw := range q.bits {
+				row := (*[8]uint64)(g[w*8:])
+				for j := 0; j < 8; j++ {
+					acc[j] += int32(bits.OnesCount64(qw ^ row[j]))
+				}
+			}
+			copy(out[base:base+m], acc[:m])
+		}
+	}
+	return scratch
 }
 
 // hamming8 is the width-8 kernel, identical in shape to hamming16.
